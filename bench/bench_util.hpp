@@ -1,0 +1,50 @@
+// Shared helpers for the figure-reproduction harnesses: flag parsing and
+// aligned table printing.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tcppr::bench {
+
+struct Options {
+  bool quick = false;       // reduced sweep for smoke runs
+  std::uint64_t seed = 1;
+  bool ablate_snapshot = false;  // fig6 ablation switch
+  bool extended = false;         // fig6: include the extension variants
+
+  static Options parse(int argc, char** argv) {
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        opts.quick = true;
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        opts.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--ablate-snapshot") == 0) {
+        opts.ablate_snapshot = true;
+      } else if (std::strcmp(argv[i], "--extended") == 0) {
+        opts.extended = true;
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "flags: --quick (reduced sweep)  --seed N  --ablate-snapshot  "
+            "--extended\n");
+      }
+    }
+    return opts;
+  }
+};
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const char* title) {
+  print_rule();
+  std::printf("%s\n", title);
+  print_rule();
+}
+
+}  // namespace tcppr::bench

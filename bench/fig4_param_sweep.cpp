@@ -1,0 +1,82 @@
+// Figure 4 reproduction: TCP-SACK mean normalized throughput while
+// competing with TCP-PR, over a grid of TCP-PR parameters (alpha, beta),
+// on the dumbbell and parking-lot topologies (32 SACK + 32 PR flows in the
+// paper; scaled via --quick).
+//
+// Paper expectation: values near 1 everywhere except beta = 1, where
+// TCP-SACK gains an advantage (TCP-PR's timeout margin is too tight and it
+// spuriously backs off).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/experiment.hpp"
+
+namespace {
+
+using namespace tcppr;
+using harness::MeasurementWindow;
+using harness::TcpVariant;
+
+MeasurementWindow window() {
+  MeasurementWindow w;
+  w.total = sim::Duration::seconds(100);
+  w.measured = sim::Duration::seconds(60);
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = tcppr::bench::Options::parse(argc, argv);
+  std::vector<double> alphas = {0.25, 0.5, 0.75, 0.9, 0.995};
+  std::vector<double> betas = {1.0, 2.0, 3.0, 5.0, 7.0, 10.0};
+  int per_side = 16;  // 32 total PR + SACK... 16+16 keeps runtime sane
+  if (opts.quick) {
+    alphas = {0.5, 0.995};
+    betas = {1.0, 3.0};
+    per_side = 8;
+  }
+
+  for (const bool parking_lot : {false, true}) {
+    bench::print_header(
+        parking_lot
+            ? "Figure 4 (right): parking-lot SACK mean normalized throughput"
+            : "Figure 4 (left): dumbbell SACK mean normalized throughput");
+    std::printf("%8s", "alpha\\beta");
+    for (const double beta : betas) std::printf(" %8.1f", beta);
+    std::printf("\n");
+    for (const double alpha : alphas) {
+      std::printf("%8.4f", alpha);
+      for (const double beta : betas) {
+        harness::RunResult result;
+        if (parking_lot) {
+          harness::ParkingLotConfig config;
+          config.pr_flows = per_side;
+          config.sack_flows = per_side;
+          config.pr.alpha = alpha;
+          config.pr.beta = beta;
+          config.seed = opts.seed;
+          auto scenario = harness::make_parking_lot(config);
+          result = run_scenario(*scenario, window());
+        } else {
+          harness::DumbbellConfig config;
+          config.pr_flows = per_side;
+          config.sack_flows = per_side;
+          config.pr.alpha = alpha;
+          config.pr.beta = beta;
+          config.seed = opts.seed;
+          auto scenario = harness::make_dumbbell(config);
+          result = run_scenario(*scenario, window());
+        }
+        std::printf(" %8.3f", result.mean_normalized(TcpVariant::kSack));
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  tcppr::bench::print_rule();
+  std::printf(
+      "paper shape: ~1 across the grid; >1 (SACK advantage) at beta=1.\n");
+  return 0;
+}

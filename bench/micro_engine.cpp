@@ -1,0 +1,112 @@
+// Micro-benchmarks (google-benchmark): the cost centers that Remark 1 of
+// the paper discusses — the Newton iteration for alpha^(1/cwnd) — plus the
+// event engine and an end-to-end simulation-throughput measurement.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/tcp_pr.hpp"
+#include "harness/experiment.hpp"
+#include "net/network.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace tcppr;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sched.schedule_at(sim::TimePoint::from_seconds(i * 1e-6), [] {});
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.processed_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_SchedulerCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::vector<sim::EventId> ids;
+    ids.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      ids.push_back(
+          sched.schedule_at(sim::TimePoint::from_seconds(i * 1e-6), [] {}));
+    }
+    for (const auto id : ids) sched.cancel(id);
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerCancel);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::Rng rng(1);
+  double acc = 0;
+  for (auto _ : state) {
+    acc += rng.uniform();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngUniform);
+
+// Remark 1: the per-ACK cost TCP-PR adds over Reno is the two-iteration
+// Newton solve. Compare it against libm's pow.
+void BM_NewtonAlphaRoot(benchmark::State& state) {
+  double cwnd = 1.0;
+  double acc = 0;
+  for (auto _ : state) {
+    cwnd = cwnd >= 1000 ? 1.0 : cwnd + 1.37;
+    acc += core::TcpPrSender::newton_alpha_root(0.995, cwnd, 2);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_NewtonAlphaRoot);
+
+void BM_ExactPow(benchmark::State& state) {
+  double cwnd = 1.0;
+  double acc = 0;
+  for (auto _ : state) {
+    cwnd = cwnd >= 1000 ? 1.0 : cwnd + 1.37;
+    acc += std::pow(0.995, 1.0 / cwnd);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ExactPow);
+
+// End-to-end: simulated seconds per wall second for a loaded dumbbell.
+void BM_DumbbellSimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::DumbbellConfig config;
+    config.pr_flows = static_cast<int>(state.range(0)) / 2;
+    config.sack_flows = static_cast<int>(state.range(0)) / 2;
+    auto scenario = harness::make_dumbbell(config);
+    scenario->sched.run_until(sim::TimePoint::from_seconds(10));
+    benchmark::DoNotOptimize(scenario->sched.processed_count());
+  }
+}
+BENCHMARK(BM_DumbbellSimulation)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// TCP-PR vs SACK sender processing cost on the same workload.
+void BM_MultipathSenderCost(benchmark::State& state) {
+  const auto variant = state.range(0) == 0 ? harness::TcpVariant::kTcpPr
+                                           : harness::TcpVariant::kSack;
+  for (auto _ : state) {
+    harness::MultipathConfig config;
+    config.variant = variant;
+    config.epsilon = 0;
+    auto scenario = harness::make_multipath(config);
+    scenario->sched.run_until(sim::TimePoint::from_seconds(5));
+    benchmark::DoNotOptimize(scenario->sched.processed_count());
+  }
+}
+BENCHMARK(BM_MultipathSenderCost)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// DiffServ-induced reordering (the paper's QoS motivation, Section 1).
+//
+// A bottleneck router forwards through a strict-priority queue; each
+// packet of the measured flow is independently marked high-priority with
+// probability p, so high-priority segments overtake queued low-priority
+// ones and the flow is persistently reordered — no multi-path routing
+// involved. The example contrasts TCP-PR and TCP-SACK over the same
+// router, printing RFC 4737-style reorder metrics from the receiver tap.
+//
+//   ./diffserv_reordering [mark_probability] [seconds]
+//   ./diffserv_reordering 0.3 30
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/tcp_pr.hpp"
+#include "harness/scenarios.hpp"
+#include "net/network.hpp"
+#include "stats/reorder.hpp"
+#include "tcp/receiver.hpp"
+
+namespace {
+
+using namespace tcppr;
+
+struct Result {
+  double goodput_mbps = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t duplicates = 0;
+  stats::ReorderMonitor monitor;
+};
+
+Result run(harness::TcpVariant variant, double mark_probability,
+           double seconds) {
+  sim::Scheduler sched;
+  net::Network network(sched);
+  const auto src = network.add_node();
+  const auto router = network.add_node();
+  const auto dst = network.add_node();
+
+  net::LinkConfig access;
+  access.bandwidth_bps = 1e9;
+  access.delay = sim::Duration::millis(1);
+  network.add_duplex_link(src, router, access);
+
+  // Forward bottleneck: strict-priority bands with probabilistic marking.
+  auto rng = std::make_shared<sim::Rng>(42);
+  auto queue = std::make_unique<net::PriorityQueue>(
+      2, 200, [rng, mark_probability](const net::Packet&) {
+        return rng->bernoulli(mark_probability) ? 0 : 1;
+      });
+  network.add_link_with_queue(router, dst, 10e6, sim::Duration::millis(15),
+                              std::move(queue));
+  net::LinkConfig back;
+  back.bandwidth_bps = 10e6;
+  back.delay = sim::Duration::millis(15);
+  network.add_link(dst, router, back);
+  network.compute_static_routes();
+
+  tcp::Receiver receiver(network, dst, src, 1);
+  Result result;
+  receiver.set_data_tap([&](const net::Packet& pkt) {
+    result.monitor.on_arrival(pkt.tcp.seq);
+  });
+
+  tcp::TcpConfig tcp_config;
+  tcp_config.max_cwnd = 60;  // below the queue limits: pure reordering
+  const auto sender =
+      harness::make_sender(variant, network, src, dst, 1, tcp_config,
+                           core::TcpPrConfig{});
+  sender->start();
+  sched.run_until(sim::TimePoint::from_seconds(seconds));
+
+  result.goodput_mbps = static_cast<double>(
+                            receiver.stats().goodput_bytes) *
+                        8.0 / seconds / 1e6;
+  result.retransmissions = sender->stats().retransmissions;
+  result.duplicates = receiver.stats().duplicates;
+  return result;
+}
+
+void report(const char* name, const Result& r) {
+  std::printf("\n%s:\n", name);
+  std::printf("  goodput               %8.2f Mbps\n", r.goodput_mbps);
+  std::printf("  retransmissions       %8llu\n",
+              static_cast<unsigned long long>(r.retransmissions));
+  std::printf("  duplicates at rcv     %8llu\n",
+              static_cast<unsigned long long>(r.duplicates));
+  std::printf("  reordered arrivals    %8.1f%%\n",
+              100.0 * r.monitor.reordered_fraction());
+  std::printf("  mean reorder extent   %8.2f segments\n",
+              r.monitor.mean_extent());
+  std::printf("  max resequencing buf  %8zu segments\n",
+              r.monitor.max_buffer_occupancy());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double p = argc > 1 ? std::atof(argv[1]) : 0.3;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 30.0;
+  std::printf("strict-priority router, P(high-priority mark) = %.2f, %g s\n",
+              p, seconds);
+  report("tcp-pr", run(harness::TcpVariant::kTcpPr, p, seconds));
+  report("tcp-sack", run(harness::TcpVariant::kSack, p, seconds));
+  std::printf(
+      "\nTCP-PR should show zero retransmissions and full goodput under\n"
+      "the same reordering that makes TCP-SACK retransmit spuriously.\n");
+  return 0;
+}

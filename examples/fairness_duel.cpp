@@ -1,0 +1,61 @@
+// Fairness duel: TCP-PR and TCP-SACK sharing one bottleneck (Section 4).
+//
+// Launches n/2 TCP-PR and n/2 TCP-SACK bulk flows between the same pair of
+// hosts across a dumbbell, runs to steady state, and prints each flow's
+// throughput plus the paper's fairness metrics (normalized throughput,
+// mean per protocol, CoV, and Jain's index as a cross-check).
+//
+//   ./fairness_duel [total_flows] [bottleneck_mbps] [seconds]
+//   ./fairness_duel 16 15 100
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hpp"
+#include "stats/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcppr;
+  using harness::TcpVariant;
+
+  const int total_flows = argc > 1 ? std::atoi(argv[1]) : 8;
+  const double mbps = argc > 2 ? std::atof(argv[2]) : 15.0;
+  const double seconds = argc > 3 ? std::atof(argv[3]) : 60.0;
+
+  harness::DumbbellConfig config;
+  config.pr_flows = total_flows / 2;
+  config.sack_flows = total_flows - total_flows / 2;
+  config.bottleneck_bw_bps = mbps * 1e6;
+  auto scenario = harness::make_dumbbell(config);
+
+  harness::MeasurementWindow window;
+  window.total = sim::Duration::seconds(seconds);
+  window.measured = sim::Duration::seconds(seconds / 2);
+  const auto result = run_scenario(*scenario, window);
+
+  std::printf("%d flows (%d tcp-pr + %d sack) on a %.1f Mbps bottleneck, "
+              "measured over the last %.0f s\n\n",
+              total_flows, config.pr_flows, config.sack_flows, mbps,
+              window.measured.as_seconds());
+  std::printf("%-4s %-8s %12s %12s %8s %8s\n", "flow", "variant",
+              "thr (kbps)", "normalized", "rtx", "timeouts");
+  const auto norm = result.normalized();
+  for (std::size_t i = 0; i < result.flows.size(); ++i) {
+    const auto& f = result.flows[i];
+    std::printf("%-4d %-8s %12.0f %12.3f %8llu %8llu\n",
+                static_cast<int>(f.flow), to_string(f.variant),
+                f.throughput_bps / 1e3, norm[i],
+                static_cast<unsigned long long>(f.sender.retransmissions),
+                static_cast<unsigned long long>(f.sender.timeouts));
+  }
+
+  std::printf("\nmean normalized throughput: tcp-pr %.3f, sack %.3f\n",
+              result.mean_normalized(TcpVariant::kTcpPr),
+              result.mean_normalized(TcpVariant::kSack));
+  std::printf("CoV: tcp-pr %.3f, sack %.3f\n",
+              result.cov(TcpVariant::kTcpPr),
+              result.cov(TcpVariant::kSack));
+  std::printf("Jain index over all flows: %.3f\n",
+              stats::jain_index(result.throughputs()));
+  std::printf("bottleneck loss rate: %.2f%%\n", 100.0 * result.loss_rate);
+  return 0;
+}

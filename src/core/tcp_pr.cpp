@@ -1,0 +1,351 @@
+#include "core/tcp_pr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace tcppr::core {
+
+TcpPrSender::TcpPrSender(net::Network& network, net::NodeId local,
+                         net::NodeId remote, FlowId flow,
+                         tcp::TcpConfig config, TcpPrConfig pr_config)
+    : SenderBase(network, local, remote, flow, config),
+      pr_(pr_config),
+      cwnd_(config.initial_cwnd),
+      ssthr_(config.max_cwnd),
+      drop_timer_(network.scheduler()),
+      unblock_timer_(network.scheduler()) {
+  TCPPR_CHECK(pr_.alpha > 0 && pr_.alpha < 1);
+  TCPPR_CHECK(pr_.beta >= 1);
+  TCPPR_CHECK(pr_.newton_iterations >= 1);
+}
+
+double TcpPrSender::newton_alpha_root(double alpha, double cwnd,
+                                      int iterations) {
+  // Footnote 5: solve x^cwnd = alpha starting from x = 1.
+  if (cwnd <= 1.0) return alpha;
+  double x = 1.0;
+  for (int i = 0; i < iterations; ++i) {
+    x = (cwnd - 1.0) / cwnd * x +
+        alpha / (cwnd * std::pow(x, cwnd - 1.0));
+  }
+  return x;
+}
+
+sim::Duration TcpPrSender::mxrtt() const {
+  if (in_backoff_) return sim::Duration::seconds(backoff_mxrtt_s_);
+  if (ewrtt_s_ <= 0) return pr_.initial_timeout;
+  return sim::Duration::seconds(pr_.beta * ewrtt_s_);
+}
+
+void TcpPrSender::update_ewrtt(sim::Duration sample) {
+  const double s = sample.as_seconds();
+  const double w = std::max(cwnd_, 1.0);
+  if (pr_.ablate_mean_ewrtt) {
+    // Ablation: EWMA of the mean with the same per-RTT memory. Vulnerable
+    // to RTT spikes (the reason the paper tracks a decaying max instead).
+    const double decay = newton_alpha_root(pr_.alpha, w, pr_.newton_iterations);
+    ewrtt_s_ = ewrtt_s_ <= 0 ? s : decay * ewrtt_s_ + (1.0 - decay) * s;
+    return;
+  }
+  const double decay = newton_alpha_root(pr_.alpha, w, pr_.newton_iterations);
+  ewrtt_s_ = std::max(decay * ewrtt_s_, s);  // eq. (1)
+}
+
+void TcpPrSender::on_start() { flush_cwnd(); }
+
+void TcpPrSender::send_one(SeqNo seq) {
+  const bool is_rtx = to_be_sent_rtx_.erase(seq) > 0;
+  OutstandingInfo info;
+  info.sent_at = now();
+  info.transmitted_at = now();
+  info.cwnd_at_send = cwnd_;
+  info.is_retransmission = is_rtx;
+  to_be_ack_[seq] = info;
+  send_order_.emplace(info.sent_at, seq);
+  transmit_segment(seq, is_rtx, next_tx_serial_++);
+}
+
+void TcpPrSender::flush_cwnd() {
+  if (now() < send_blocked_until_) {
+    // Extreme-loss pause (§3.2): resume exactly when the block lifts.
+    unblock_timer_.schedule_at(send_blocked_until_, [this] { flush_cwnd(); });
+    return;
+  }
+  // Head repair runs outside the window check (like fast retransmit): the
+  // lowest pending retransmission is the cumulative-ACK blocker, and the
+  // stalled flight behind it must never be able to lock it out.
+  if (!to_be_sent_rtx_.empty()) {
+    const SeqNo head = *to_be_sent_rtx_.begin();
+    if (to_be_ack_.empty() || head < to_be_ack_.begin()->first) {
+      send_one(head);
+    }
+  }
+
+  // Table 1: while cwnd > |to-be-ack|, send the smallest pending seq.
+  // Dupack credits subtract segments known to have left the network (see
+  // TcpPrConfig::dupack_window_credit).
+  for (;;) {
+    std::size_t outstanding = to_be_ack_.size();
+    if (pr_.dupack_window_credit) {
+      outstanding -= std::min<std::size_t>(
+          outstanding, static_cast<std::size_t>(dup_credits_));
+    }
+    if (!(cwnd_ > static_cast<double>(outstanding))) break;
+    if (!to_be_sent_rtx_.empty()) {
+      send_one(*to_be_sent_rtx_.begin());
+    } else if (source_has(next_new_)) {
+      send_one(next_new_);
+      ++next_new_;
+    } else {
+      break;
+    }
+  }
+  rearm_drop_timer();
+}
+
+void TcpPrSender::rearm_drop_timer() {
+  // Drop stale send-order entries (acked packets, superseded transmissions).
+  while (!send_order_.empty()) {
+    const auto& [t, seq] = *send_order_.begin();
+    const auto it = to_be_ack_.find(seq);
+    if (it != to_be_ack_.end() && it->second.sent_at == t) break;
+    send_order_.erase(send_order_.begin());
+  }
+  if (send_order_.empty()) {
+    drop_timer_.cancel();
+    return;
+  }
+  const sim::TimePoint deadline = send_order_.begin()->first + mxrtt();
+  drop_timer_.schedule_at(std::max(deadline, now()),
+                          [this] { on_drop_timer(); });
+}
+
+bool TcpPrSender::declaration_deferred(SeqNo seq) const {
+  // While a congestion episode is being repaired (cumulative ACK below the
+  // recovery point, NewReno-style), only the memorize snapshot and already
+  // repaired-and-lost segments may be declared. Segments first sent after
+  // the halving share the cumulative-ACK stall but carry no information
+  // about it; declaring them would masquerade as a fresh congestion event.
+  if (pr_.ablate_no_memorize) return false;  // ablation: react per drop
+  return !in_backoff_ && stats_.segments_acked < recover_point_ &&
+         !memorize_.contains(seq) && !drop_counts_.contains(seq);
+}
+
+void TcpPrSender::on_drop_timer() {
+  // Declare drops for every packet whose deadline has passed.
+  for (;;) {
+    while (!send_order_.empty()) {
+      const auto& [t, seq] = *send_order_.begin();
+      const auto it = to_be_ack_.find(seq);
+      if (it != to_be_ack_.end() && it->second.sent_at == t) break;
+      send_order_.erase(send_order_.begin());
+    }
+    if (send_order_.empty()) break;
+    const auto [t, seq] = *send_order_.begin();
+    if (t + mxrtt() > now()) break;
+    if (declaration_deferred(seq)) {
+      // Push the deadline one round out; the episode normally resolves
+      // (and acknowledges this packet) well before it expires again.
+      auto& out = to_be_ack_[seq];
+      out.sent_at = now();
+      send_order_.emplace(out.sent_at, seq);
+      continue;  // the stale front entry is cleaned on the next pass
+    }
+    handle_drop(seq);
+  }
+  flush_cwnd();  // also re-arms the timer
+}
+
+void TcpPrSender::handle_drop(SeqNo seq) {
+  const auto it = to_be_ack_.find(seq);
+  TCPPR_CHECK(it != to_be_ack_.end());
+  const OutstandingInfo info = it->second;
+  to_be_ack_.erase(it);
+  to_be_sent_rtx_.insert(seq);
+  TCPPR_LOG_DEBUG("tcp-pr", "flow %d drop detected seq %lld", flow(),
+                  static_cast<long long>(seq));
+
+  if (in_backoff_) {
+    // §3.2: while cwnd == 1 after an extreme-loss reset, further drops
+    // double mxrtt instead of halving — the usual exponential backoff.
+    memorize_.erase(seq);
+    backoff_mxrtt_s_ =
+        std::min(2.0 * backoff_mxrtt_s_, pr_.max_backoff.as_seconds());
+    send_blocked_until_ = now() + mxrtt();
+    if (memorize_.empty()) cburst_ = 0;
+    return;
+  }
+
+  auto& drop_record = drop_counts_[seq];
+  const int drops_of_seq = ++drop_record.drops;
+  drop_record.last_transmit = info.transmitted_at;
+  if (pr_.enable_extreme_loss_handling &&
+      pr_.extreme_loss_on_lost_retransmission &&
+      drops_of_seq >= pr_.extreme_loss_rtx_drops) {
+    // Repeated repairs of the same segment were lost — the situation in
+    // which NewReno/SACK fast recovery stalls into a coarse timeout (see
+    // TcpPrConfig).
+    memorize_.erase(seq);
+    enter_extreme_loss(seq);
+    return;
+  }
+
+  const bool was_memorized = memorize_.erase(seq) > 0;
+  if (!was_memorized || pr_.ablate_no_memorize) {
+    // First drop of a new congestion event: snapshot the outstanding
+    // packets and halve from the cwnd in force when `seq` was sent.
+    if (!pr_.ablate_no_memorize) {
+      memorize_.clear();
+      for (auto& [s, out] : to_be_ack_) {
+        memorize_.insert(s);
+        if (pr_.restamp_on_congestion_event) {
+          // See TcpPrConfig::restamp_on_congestion_event.
+          out.sent_at = now();
+          send_order_.emplace(out.sent_at, s);
+        }
+      }
+      burst_snapshot_size_ = memorize_.size();
+    }
+    recover_point_ = next_new_;
+    episode_started_ = now();
+    const double basis =
+        pr_.ablate_halve_current_cwnd ? cwnd_ : info.cwnd_at_send;
+    TCPPR_LOG_DEBUG("tcp-pr",
+                    "flow %d halving on seq %lld (rtx=%d basis=%.1f)", flow(),
+                    static_cast<long long>(seq),
+                    info.is_retransmission ? 1 : 0, basis);
+    // The snapshot rule reduces to cwnd(n)/2 — but a window that grew past
+    // the snapshot during the detection delay must never be *raised* by a
+    // "halving".
+    cwnd_ = std::min(cwnd_, std::max(1.0, basis / 2.0));
+    ssthr_ = cwnd_;
+    mode_ = Mode::kCongestionAvoidance;
+    ++stats_.cwnd_halvings;
+    notify_cwnd(cwnd_);
+  } else {
+    // Part of an already-handled burst: no further halving, but count it
+    // toward the extreme-loss condition.
+    ++cburst_;
+    // §3.2 counter rule ("half or more packets lost within a window"),
+    // measured against the burst snapshot; see
+    // TcpPrConfig::extreme_loss_on_burst_count.
+    // The episode-age gate mirrors the 1 s floor of the coarse timeout the
+    // rule emulates: NewReno/SACK cannot reach an RTO faster than min_rto,
+    // so neither may this counter (multi-hole repairs shorter than that
+    // are routine fast-recovery business).
+    if (pr_.enable_extreme_loss_handling && pr_.extreme_loss_on_burst_count &&
+        now() - episode_started_ >= pr_.extreme_loss_floor &&
+        static_cast<double>(cburst_) >
+            static_cast<double>(burst_snapshot_size_) / 2.0 + 1.0) {
+      enter_extreme_loss(seq);
+      return;
+    }
+  }
+  if (memorize_.empty()) cburst_ = 0;
+}
+
+void TcpPrSender::enter_extreme_loss(SeqNo seq) {
+  (void)seq;
+  ++stats_.extreme_loss_events;
+  ++stats_.timeouts;  // comparable to a NewReno/SACK coarse timeout
+  TCPPR_LOG_DEBUG("tcp-pr", "flow %d extreme loss (cburst=%d)", flow(),
+                  cburst_);
+  cwnd_ = 1.0;
+  mode_ = Mode::kSlowStart;
+  // ssthr_ keeps the value set at the start of the burst (half the
+  // pre-burst window), mirroring NewReno's post-timeout ssthresh.
+  //
+  // Emulating the coarse timeout fully means forgetting the in-flight
+  // window (go-back-N): everything outstanding returns to the to-be-sent
+  // side; whatever the receiver already has is cleaned out by the
+  // cumulative ACKs that follow the first repair.
+  for (const auto& [s, unused] : to_be_ack_) to_be_sent_rtx_.insert(s);
+  to_be_ack_.clear();
+  send_order_.clear();
+  memorize_.clear();
+  cburst_ = 0;
+  dup_credits_ = 0;
+  in_backoff_ = true;
+  backoff_mxrtt_s_ = std::max(pr_.extreme_loss_floor.as_seconds(),
+                              pr_.beta * ewrtt_s_);
+  send_blocked_until_ = now() + mxrtt();
+  notify_cwnd(cwnd_);
+}
+
+void TcpPrSender::on_ack_packet(const net::Packet& ack) {
+  const SeqNo a = ack.tcp.ack;
+
+  // Remove every newly acknowledged packet (cumulative ACK semantics).
+  bool any = false;
+  sim::TimePoint newest_send;
+  auto it = to_be_ack_.begin();
+  while (it != to_be_ack_.end() && it->first < a) {
+    if (!any || it->second.transmitted_at > newest_send) {
+      newest_send = it->second.transmitted_at;
+    }
+    any = true;
+    memorize_.erase(it->first);
+    it = to_be_ack_.erase(it);
+  }
+  // Queued retransmissions below the ACK point are no longer needed.
+  to_be_sent_rtx_.erase(to_be_sent_rtx_.begin(),
+                        to_be_sent_rtx_.lower_bound(a));
+
+  // The ACK can advance the window even when every covered segment was
+  // already declared dropped (their to-be-ack entries are gone) — e.g.
+  // originals arriving after a spurious declaration. That progress still
+  // counts, and its RTT sample is the only way the estimator can learn an
+  // RTT above the current mxrtt.
+  const bool progress = a > stats_.segments_acked;
+  if (!any && !progress) {
+    // Duplicate ACK: never a loss signal, but proof that one segment
+    // reached the receiver — worth one window credit.
+    if (pr_.dupack_window_credit && !to_be_ack_.empty()) {
+      ++dup_credits_;
+      flush_cwnd();
+    }
+    return;
+  }
+  dup_credits_ = 0;
+  if (memorize_.empty()) cburst_ = 0;
+
+  // Table 1 lines 13-14: sample from the packet whose ACK just arrived.
+  if (any) {
+    update_ewrtt(now() - newest_send);
+  } else {
+    const auto dropped = drop_counts_.find(a - 1);
+    if (dropped != drop_counts_.end()) {
+      update_ewrtt(now() - dropped->second.last_transmit);
+    }
+  }
+  drop_counts_.erase(drop_counts_.begin(), drop_counts_.lower_bound(a));
+
+  if (in_backoff_) {
+    in_backoff_ = false;
+    backoff_mxrtt_s_ = 0;
+    send_blocked_until_ = now();
+  }
+
+  note_progress(a);
+
+  // Table 1 lines 17-20: window growth.
+  if (mode_ == Mode::kSlowStart) {
+    if (cwnd_ + 1.0 <= ssthr_) {
+      cwnd_ += 1.0;
+    } else {
+      mode_ = Mode::kCongestionAvoidance;
+      cwnd_ += 1.0 / cwnd_;
+    }
+  } else {
+    cwnd_ += 1.0 / cwnd_;
+  }
+  cwnd_ = std::min(cwnd_, config_.max_cwnd);
+  notify_cwnd(cwnd_);
+
+  flush_cwnd();
+}
+
+}  // namespace tcppr::core

@@ -1,0 +1,104 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace tcppr::harness {
+
+std::vector<double> RunResult::throughputs() const {
+  std::vector<double> out;
+  out.reserve(flows.size());
+  for (const FlowResult& f : flows) out.push_back(f.throughput_bps);
+  return out;
+}
+
+std::vector<double> RunResult::normalized() const {
+  return stats::normalized_throughput(throughputs());
+}
+
+double RunResult::mean_normalized(TcpVariant variant) const {
+  const std::vector<double> norm = normalized();
+  double sum = 0;
+  int n = 0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].variant == variant) {
+      sum += norm[i];
+      ++n;
+    }
+  }
+  return n == 0 ? 0 : sum / n;
+}
+
+double RunResult::cov(TcpVariant variant) const {
+  std::vector<double> vals;
+  const std::vector<double> norm = normalized();
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].variant == variant) vals.push_back(norm[i]);
+  }
+  return stats::coefficient_of_variation(vals);
+}
+
+int RunResult::count(TcpVariant variant) const {
+  int n = 0;
+  for (const FlowResult& f : flows) {
+    if (f.variant == variant) ++n;
+  }
+  return n;
+}
+
+RunResult run_scenario(Scenario& scenario, const MeasurementWindow& window) {
+  TCPPR_CHECK(window.measured <= window.total);
+  const sim::TimePoint t_end =
+      sim::TimePoint::origin() + window.total;
+  const sim::TimePoint t_mark = t_end - window.measured;
+
+  scenario.sched.run_until(t_mark);
+  std::vector<std::uint64_t> acked_at_mark;
+  std::vector<std::uint64_t> goodput_at_mark;
+  for (std::size_t i = 0; i < scenario.senders.size(); ++i) {
+    acked_at_mark.push_back(scenario.senders[i]->stats().bytes_newly_acked);
+    goodput_at_mark.push_back(scenario.receivers[i]->stats().goodput_bytes);
+  }
+  scenario.sched.run_until(t_end);
+
+  RunResult result;
+  result.measure_seconds = window.measured.as_seconds();
+  result.loss_rate = scenario.bottleneck_loss_rate();
+  result.events = scenario.sched.processed_count();
+  for (std::size_t i = 0; i < scenario.senders.size(); ++i) {
+    FlowResult fr;
+    fr.variant = scenario.variants[i];
+    fr.flow = scenario.senders[i]->flow();
+    fr.sender = scenario.senders[i]->stats();
+    fr.receiver = scenario.receivers[i]->stats();
+    const double dt = result.measure_seconds;
+    fr.throughput_bps =
+        static_cast<double>(fr.sender.bytes_newly_acked - acked_at_mark[i]) *
+        8.0 / dt;
+    fr.goodput_bps =
+        static_cast<double>(fr.receiver.goodput_bytes - goodput_at_mark[i]) *
+        8.0 / dt;
+    result.flows.push_back(fr);
+  }
+  return result;
+}
+
+MultipathCell run_multipath_cell(const MultipathConfig& config,
+                                 const MeasurementWindow& window) {
+  auto scenario = make_multipath(config);
+  const RunResult run = run_scenario(*scenario, window);
+  TCPPR_CHECK(run.flows.size() == 1);
+  MultipathCell cell;
+  cell.variant = config.variant;
+  cell.epsilon = config.epsilon;
+  cell.goodput_bps = run.flows[0].goodput_bps;
+  cell.throughput_bps = run.flows[0].throughput_bps;
+  cell.retransmissions = run.flows[0].sender.retransmissions;
+  cell.timeouts = run.flows[0].sender.timeouts;
+  cell.spurious = run.flows[0].sender.spurious_retransmits_detected;
+  cell.loss_rate = run.loss_rate;
+  return cell;
+}
+
+}  // namespace tcppr::harness

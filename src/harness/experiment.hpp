@@ -1,0 +1,64 @@
+// Experiment runner: executes a Scenario for a warm-up plus measurement
+// window and extracts per-flow throughput and summary metrics, exactly the
+// quantities the paper plots (throughput over the last 60 s, normalized
+// throughput, mean normalized throughput per protocol, CoV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/scenarios.hpp"
+#include "stats/metrics.hpp"
+
+namespace tcppr::harness {
+
+struct MeasurementWindow {
+  sim::Duration total = sim::Duration::seconds(160);
+  sim::Duration measured = sim::Duration::seconds(60);  // trailing window
+};
+
+struct FlowResult {
+  TcpVariant variant;
+  net::FlowId flow = net::kInvalidFlow;
+  double throughput_bps = 0;  // new data acked in the measurement window
+  double goodput_bps = 0;     // receiver in-order delivery, same window
+  tcp::SenderStats sender;    // cumulative over the whole run
+  tcp::ReceiverStats receiver;
+};
+
+struct RunResult {
+  std::vector<FlowResult> flows;
+  double measure_seconds = 0;
+  double loss_rate = 0;        // bottleneck queues, whole run
+  std::uint64_t events = 0;    // scheduler events processed
+
+  std::vector<double> throughputs() const;
+  // Per-flow normalized throughput T_i (Section 4).
+  std::vector<double> normalized() const;
+  // Mean normalized throughput of flows with the given variant.
+  double mean_normalized(TcpVariant variant) const;
+  // Coefficient of variation of T_i over flows of the given variant.
+  double cov(TcpVariant variant) const;
+  int count(TcpVariant variant) const;
+};
+
+// Runs the scenario to window.total, measuring the trailing
+// window.measured seconds.
+RunResult run_scenario(Scenario& scenario, const MeasurementWindow& window);
+
+// One Figure 6 cell: single flow over the multi-path mesh; returns the
+// measured goodput in bps.
+struct MultipathCell {
+  TcpVariant variant;
+  double epsilon = 0;
+  double goodput_bps = 0;
+  double throughput_bps = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t spurious = 0;
+  double loss_rate = 0;
+};
+MultipathCell run_multipath_cell(const MultipathConfig& config,
+                                 const MeasurementWindow& window);
+
+}  // namespace tcppr::harness

@@ -1,0 +1,343 @@
+#include "harness/scenarios.hpp"
+
+#include <utility>
+
+#include "tcp/door.hpp"
+#include "tcp/eifel.hpp"
+#include "tcp/mitigation.hpp"
+#include "tcp/reno.hpp"
+#include "tcp/sack.hpp"
+#include "tcp/tahoe.hpp"
+#include "tcp/tdfr.hpp"
+#include "util/check.hpp"
+
+namespace tcppr::harness {
+
+const char* to_string(TcpVariant variant) {
+  switch (variant) {
+    case TcpVariant::kTcpPr:
+      return "tcp-pr";
+    case TcpVariant::kSack:
+      return "sack";
+    case TcpVariant::kReno:
+      return "reno";
+    case TcpVariant::kNewReno:
+      return "newreno";
+    case TcpVariant::kTahoe:
+      return "tahoe";
+    case TcpVariant::kTdFr:
+      return "td-fr";
+    case TcpVariant::kDsackNm:
+      return "dsack-nm";
+    case TcpVariant::kIncByOne:
+      return "inc-by-1";
+    case TcpVariant::kIncByN:
+      return "inc-by-n";
+    case TcpVariant::kEwma:
+      return "ewma";
+    case TcpVariant::kEifel:
+      return "eifel";
+    case TcpVariant::kDoor:
+      return "tcp-door";
+  }
+  return "?";
+}
+
+const std::vector<TcpVariant>& all_variants() {
+  static const std::vector<TcpVariant> kAll = {
+      TcpVariant::kTcpPr,    TcpVariant::kSack,   TcpVariant::kReno,
+      TcpVariant::kNewReno,  TcpVariant::kTahoe,  TcpVariant::kTdFr,
+      TcpVariant::kDsackNm,  TcpVariant::kIncByOne, TcpVariant::kIncByN,
+      TcpVariant::kEwma,     TcpVariant::kEifel,  TcpVariant::kDoor};
+  return kAll;
+}
+
+std::unique_ptr<tcp::SenderBase> make_sender(
+    TcpVariant variant, net::Network& network, net::NodeId local,
+    net::NodeId remote, net::FlowId flow, const tcp::TcpConfig& tcp_config,
+    const core::TcpPrConfig& pr_config) {
+  switch (variant) {
+    case TcpVariant::kTcpPr:
+      return std::make_unique<core::TcpPrSender>(network, local, remote, flow,
+                                                 tcp_config, pr_config);
+    case TcpVariant::kSack:
+      return std::make_unique<tcp::SackSender>(network, local, remote, flow,
+                                               tcp_config);
+    case TcpVariant::kReno:
+      return std::make_unique<tcp::RenoSender>(network, local, remote, flow,
+                                               tcp_config);
+    case TcpVariant::kNewReno:
+      return std::make_unique<tcp::NewRenoSender>(network, local, remote,
+                                                  flow, tcp_config);
+    case TcpVariant::kTahoe:
+      return std::make_unique<tcp::TahoeSender>(network, local, remote, flow,
+                                                tcp_config);
+    case TcpVariant::kDoor:
+      return std::make_unique<tcp::DoorSender>(network, local, remote, flow,
+                                               tcp_config);
+    case TcpVariant::kTdFr:
+      return std::make_unique<tcp::TdFrSender>(network, local, remote, flow,
+                                               tcp_config);
+    case TcpVariant::kDsackNm:
+      return std::make_unique<tcp::MitigationSender>(
+          network, local, remote, flow,
+          tcp::DupthreshPolicy::kDsackNoMitigation, tcp_config);
+    case TcpVariant::kIncByOne:
+      return std::make_unique<tcp::MitigationSender>(
+          network, local, remote, flow, tcp::DupthreshPolicy::kIncByOne,
+          tcp_config);
+    case TcpVariant::kIncByN:
+      return std::make_unique<tcp::MitigationSender>(
+          network, local, remote, flow, tcp::DupthreshPolicy::kIncByN,
+          tcp_config);
+    case TcpVariant::kEwma:
+      return std::make_unique<tcp::MitigationSender>(
+          network, local, remote, flow, tcp::DupthreshPolicy::kEwma,
+          tcp_config);
+    case TcpVariant::kEifel:
+      return std::make_unique<tcp::EifelSender>(network, local, remote, flow,
+                                                tcp_config);
+  }
+  TCPPR_CHECK(false);
+  return nullptr;
+}
+
+void Scenario::add_flow(TcpVariant variant, net::NodeId src, net::NodeId dst,
+                        net::FlowId flow, const tcp::TcpConfig& tcp_config,
+                        const core::TcpPrConfig& pr_config,
+                        sim::TimePoint start) {
+  tcp::ReceiverConfig rc;
+  rc.segment_bytes = tcp_config.segment_bytes;
+  rc.ack_bytes = tcp_config.ack_bytes;
+  receivers.push_back(
+      std::make_unique<tcp::Receiver>(network, dst, src, flow, rc));
+  senders.push_back(make_sender(variant, network, src, dst, flow, tcp_config,
+                                pr_config));
+  variants.push_back(variant);
+  tcp::SenderBase* sender = senders.back().get();
+  sched.schedule_at(start, [sender] { sender->start(); });
+}
+
+void Scenario::add_cross_flow(net::NodeId src, net::NodeId dst,
+                              net::FlowId flow,
+                              const tcp::TcpConfig& tcp_config,
+                              sim::TimePoint start) {
+  tcp::ReceiverConfig rc;
+  rc.segment_bytes = tcp_config.segment_bytes;
+  rc.ack_bytes = tcp_config.ack_bytes;
+  cross_receivers.push_back(
+      std::make_unique<tcp::Receiver>(network, dst, src, flow, rc));
+  cross_senders.push_back(std::make_unique<tcp::SackSender>(
+      network, src, dst, flow, tcp_config));
+  tcp::SenderBase* sender = cross_senders.back().get();
+  sched.schedule_at(start, [sender] { sender->start(); });
+}
+
+double Scenario::bottleneck_loss_rate() const {
+  std::uint64_t dropped = 0;
+  std::uint64_t offered = 0;
+  for (const net::Link* link : bottlenecks) {
+    dropped += link->queue().stats().dropped;
+    offered += link->queue().stats().enqueued + link->queue().stats().dropped;
+  }
+  if (offered == 0) return 0;
+  return static_cast<double>(dropped) / static_cast<double>(offered);
+}
+
+std::unique_ptr<Scenario> make_dumbbell(const DumbbellConfig& config) {
+  auto s = std::make_unique<Scenario>();
+  net::Network& nw = s->network;
+
+  const net::NodeId src = nw.add_node();
+  const net::NodeId r1 = nw.add_node();
+  const net::NodeId r2 = nw.add_node();
+  const net::NodeId dst = nw.add_node();
+  s->src_host = src;
+  s->dst_host = dst;
+
+  net::LinkConfig access;
+  access.bandwidth_bps = config.access_bw_bps;
+  access.delay = config.access_delay;
+  access.queue_limit_packets = config.access_queue;
+  nw.add_duplex_link(src, r1, access);
+  nw.add_duplex_link(r2, dst, access);
+
+  net::LinkConfig bottleneck;
+  bottleneck.bandwidth_bps = config.bottleneck_bw_bps;
+  bottleneck.delay = config.bottleneck_delay;
+  bottleneck.queue_limit_packets = config.bottleneck_queue;
+  auto [fwd, rev] = nw.add_duplex_link(r1, r2, bottleneck);
+  s->bottlenecks.push_back(fwd);
+  (void)rev;
+
+  nw.compute_static_routes();
+
+  sim::Rng rng(config.seed);
+  net::FlowId next_flow = 1;
+  const double stagger_s = config.max_start_stagger.as_seconds();
+  // Interleave PR and SACK flows so start order is variant-neutral.
+  int pr_left = config.pr_flows;
+  int sack_left = config.sack_flows;
+  for (int i = 0; pr_left + sack_left > 0; ++i) {
+    TcpVariant variant;
+    if (pr_left > 0 && (sack_left == 0 || i % 2 == 0)) {
+      variant = TcpVariant::kTcpPr;
+      --pr_left;
+    } else {
+      variant = TcpVariant::kSack;
+      --sack_left;
+    }
+    const auto start =
+        sim::TimePoint::from_seconds(rng.uniform(0.0, stagger_s));
+    s->add_flow(variant, src, dst, next_flow++, config.tcp, config.pr, start);
+  }
+  return s;
+}
+
+std::unique_ptr<Scenario> make_parking_lot(const ParkingLotConfig& config) {
+  auto s = std::make_unique<Scenario>();
+  net::Network& nw = s->network;
+
+  const net::NodeId src = nw.add_node();   // S
+  const net::NodeId n1 = nw.add_node();
+  const net::NodeId n2 = nw.add_node();
+  const net::NodeId n3 = nw.add_node();
+  const net::NodeId n4 = nw.add_node();
+  const net::NodeId dst = nw.add_node();   // D
+  const net::NodeId cs1 = nw.add_node();
+  const net::NodeId cs2 = nw.add_node();
+  const net::NodeId cs3 = nw.add_node();
+  const net::NodeId cd1 = nw.add_node();
+  const net::NodeId cd2 = nw.add_node();
+  const net::NodeId cd3 = nw.add_node();
+  s->src_host = src;
+  s->dst_host = dst;
+
+  const auto link = [&](double bw, sim::Duration d) {
+    net::LinkConfig cfg;
+    cfg.bandwidth_bps = bw;
+    cfg.delay = d;
+    cfg.queue_limit_packets = config.queue_limit;
+    return cfg;
+  };
+
+  nw.add_duplex_link(src, n1, link(config.other_bw_bps, config.access_delay));
+  auto [l12, l21] =
+      nw.add_duplex_link(n1, n2, link(config.chain_bw_bps, config.chain_delay));
+  auto [l23, l32] =
+      nw.add_duplex_link(n2, n3, link(config.chain_bw_bps, config.chain_delay));
+  auto [l34, l43] =
+      nw.add_duplex_link(n3, n4, link(config.chain_bw_bps, config.chain_delay));
+  (void)l21;
+  (void)l32;
+  (void)l43;
+  nw.add_duplex_link(n4, dst, link(config.other_bw_bps, config.access_delay));
+  s->bottlenecks = {l12, l23, l34};
+
+  // Cross-traffic attachment points per Figure 1: sources enter at nodes
+  // 1..3 through rate-limited access links; sinks hang off nodes 2..4.
+  nw.add_duplex_link(cs1, n1, link(config.cs1_bw_bps, config.access_delay));
+  nw.add_duplex_link(cs2, n2, link(config.cs2_bw_bps, config.access_delay));
+  nw.add_duplex_link(cs3, n3, link(config.cs3_bw_bps, config.access_delay));
+  nw.add_duplex_link(n2, cd1, link(config.other_bw_bps, config.access_delay));
+  nw.add_duplex_link(n3, cd2, link(config.other_bw_bps, config.access_delay));
+  nw.add_duplex_link(n4, cd3, link(config.other_bw_bps, config.access_delay));
+
+  nw.compute_static_routes();
+
+  sim::Rng rng(config.seed);
+  const double stagger_s = config.max_start_stagger.as_seconds();
+  net::FlowId next_flow = 1;
+
+  if (config.with_cross_traffic) {
+    const std::pair<net::NodeId, net::NodeId> cross[] = {
+        {cs1, cd1}, {cs1, cd2}, {cs1, cd3},
+        {cs2, cd2}, {cs2, cd3}, {cs3, cd3}};
+    for (const auto& [a, b] : cross) {
+      const auto start =
+          sim::TimePoint::from_seconds(rng.uniform(0.0, stagger_s));
+      s->add_cross_flow(a, b, next_flow++, config.tcp, start);
+    }
+  }
+
+  int pr_left = config.pr_flows;
+  int sack_left = config.sack_flows;
+  for (int i = 0; pr_left + sack_left > 0; ++i) {
+    TcpVariant variant;
+    if (pr_left > 0 && (sack_left == 0 || i % 2 == 0)) {
+      variant = TcpVariant::kTcpPr;
+      --pr_left;
+    } else {
+      variant = TcpVariant::kSack;
+      --sack_left;
+    }
+    const auto start =
+        sim::TimePoint::from_seconds(rng.uniform(0.0, stagger_s));
+    s->add_flow(variant, src, dst, next_flow++, config.tcp, config.pr, start);
+  }
+  return s;
+}
+
+std::unique_ptr<Scenario> make_multipath(const MultipathConfig& config) {
+  TCPPR_CHECK(config.path_count >= 1);
+  auto s = std::make_unique<Scenario>();
+  net::Network& nw = s->network;
+
+  const net::NodeId src = nw.add_node();
+  const net::NodeId dst = nw.add_node();
+  s->src_host = src;
+  s->dst_host = dst;
+
+  net::LinkConfig link;
+  link.bandwidth_bps = config.link_bw_bps;
+  link.delay = config.link_delay;
+  link.queue_limit_packets = config.queue_limit;
+
+  // Path i (1-based) has i relay nodes: i+1 hops, so path RTTs spread by a
+  // factor of (path_count+1)/2 — the source of persistent reordering.
+  routing::PathSet fwd_paths;
+  fwd_paths.src = src;
+  fwd_paths.dst = dst;
+  routing::PathSet rev_paths;
+  rev_paths.src = dst;
+  rev_paths.dst = src;
+  for (int i = 1; i <= config.path_count; ++i) {
+    std::vector<net::NodeId> fwd{src};
+    net::NodeId prev = src;
+    for (int k = 0; k < i; ++k) {
+      const net::NodeId relay = nw.add_node();
+      nw.add_duplex_link(prev, relay, link);
+      fwd.push_back(relay);
+      prev = relay;
+    }
+    nw.add_duplex_link(prev, dst, link);
+    fwd.push_back(dst);
+    std::vector<net::NodeId> rev(fwd.rbegin(), fwd.rend());
+    const double cost = static_cast<double>(i + 1);  // hops as cost
+    fwd_paths.paths.push_back(std::move(fwd));
+    fwd_paths.costs.push_back(cost);
+    rev_paths.paths.push_back(std::move(rev));
+    rev_paths.costs.push_back(cost);
+  }
+
+  nw.compute_static_routes();
+  for (const auto& l : nw.links()) s->bottlenecks.push_back(l.get());
+
+  sim::Rng rng(config.seed);
+  auto fwd_policy = std::make_unique<routing::MultipathSelector>(
+      std::move(fwd_paths), config.epsilon, rng.fork(101));
+  nw.node(src).set_source_routing_policy(fwd_policy.get());
+  s->policies.push_back(std::move(fwd_policy));
+  if (config.multipath_acks) {
+    auto rev_policy = std::make_unique<routing::MultipathSelector>(
+        std::move(rev_paths), config.epsilon, rng.fork(202));
+    nw.node(dst).set_source_routing_policy(rev_policy.get());
+    s->policies.push_back(std::move(rev_policy));
+  }
+
+  s->add_flow(config.variant, src, dst, /*flow=*/1, config.tcp, config.pr,
+              sim::TimePoint::origin());
+  return s;
+}
+
+}  // namespace tcppr::harness

@@ -1,0 +1,135 @@
+// Scenario builders for the paper's three evaluation topologies:
+//   - dumbbell (single bottleneck), Figures 2-4 left plots;
+//   - parking-lot (Figure 1: chain of three bottlenecks with overlapping
+//     TCP-SACK cross traffic), Figures 2-4 right plots;
+//   - multi-path mesh (Figure 5: parallel node-disjoint paths of unequal
+//     length, 10 Mbps links, 100-packet queues), Figure 6.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "app/sources.hpp"
+#include "core/tcp_pr.hpp"
+#include "net/network.hpp"
+#include "routing/multipath.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/receiver.hpp"
+#include "tcp/sender_base.hpp"
+
+namespace tcppr::harness {
+
+enum class TcpVariant {
+  kTcpPr,
+  kSack,
+  kReno,
+  kNewReno,
+  kTahoe,
+  kTdFr,
+  kDsackNm,
+  kIncByOne,
+  kIncByN,
+  kEwma,
+  kEifel,
+  kDoor,
+};
+
+const char* to_string(TcpVariant variant);
+// All implemented variants, in presentation order.
+const std::vector<TcpVariant>& all_variants();
+
+std::unique_ptr<tcp::SenderBase> make_sender(
+    TcpVariant variant, net::Network& network, net::NodeId local,
+    net::NodeId remote, net::FlowId flow, const tcp::TcpConfig& tcp_config,
+    const core::TcpPrConfig& pr_config);
+
+// A built simulation: the scheduler, the network, and every endpoint.
+// Heap-only (internal references make it unmovable).
+struct Scenario {
+  Scenario() : network(sched) {}
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  sim::Scheduler sched;
+  net::Network network;
+  net::NodeId src_host = net::kInvalidNode;
+  net::NodeId dst_host = net::kInvalidNode;
+
+  // Index i of senders/receivers/variants describes measured flow i.
+  std::vector<std::unique_ptr<tcp::SenderBase>> senders;
+  std::vector<std::unique_ptr<tcp::Receiver>> receivers;
+  std::vector<TcpVariant> variants;
+
+  // Cross traffic and auxiliary objects (not measured).
+  std::vector<std::unique_ptr<tcp::SenderBase>> cross_senders;
+  std::vector<std::unique_ptr<tcp::Receiver>> cross_receivers;
+  std::vector<std::unique_ptr<net::SourceRoutingPolicy>> policies;
+
+  // Links whose queues define the loss rate of the experiment.
+  std::vector<net::Link*> bottlenecks;
+
+  // Adds a measured flow and schedules its start.
+  void add_flow(TcpVariant variant, net::NodeId src, net::NodeId dst,
+                net::FlowId flow, const tcp::TcpConfig& tcp_config,
+                const core::TcpPrConfig& pr_config, sim::TimePoint start);
+  // Adds an unmeasured long-lived SACK cross-traffic flow.
+  void add_cross_flow(net::NodeId src, net::NodeId dst, net::FlowId flow,
+                      const tcp::TcpConfig& tcp_config, sim::TimePoint start);
+  // Aggregate loss fraction over the bottleneck queues.
+  double bottleneck_loss_rate() const;
+};
+
+struct DumbbellConfig {
+  int pr_flows = 2;
+  int sack_flows = 2;
+  double bottleneck_bw_bps = 15e6;
+  sim::Duration bottleneck_delay = sim::Duration::millis(20);
+  std::size_t bottleneck_queue = 100;
+  double access_bw_bps = 100e6;
+  sim::Duration access_delay = sim::Duration::millis(1);
+  std::size_t access_queue = 2000;
+  tcp::TcpConfig tcp;
+  core::TcpPrConfig pr;
+  std::uint64_t seed = 1;
+  sim::Duration max_start_stagger = sim::Duration::seconds(2);
+};
+
+std::unique_ptr<Scenario> make_dumbbell(const DumbbellConfig& config);
+
+struct ParkingLotConfig {
+  int pr_flows = 2;
+  int sack_flows = 2;
+  // Figure 1 bandwidths.
+  double chain_bw_bps = 15e6;       // links 1-2, 2-3, 3-4 (bottlenecks)
+  double other_bw_bps = 15e6;       // S-1, 4-D, CD attachment links
+  double cs1_bw_bps = 5e6;
+  double cs2_bw_bps = 1.66e6;
+  double cs3_bw_bps = 2.5e6;
+  sim::Duration chain_delay = sim::Duration::millis(10);
+  sim::Duration access_delay = sim::Duration::millis(5);
+  std::size_t queue_limit = 100;
+  bool with_cross_traffic = true;
+  tcp::TcpConfig tcp;
+  core::TcpPrConfig pr;
+  std::uint64_t seed = 1;
+  sim::Duration max_start_stagger = sim::Duration::seconds(2);
+};
+
+std::unique_ptr<Scenario> make_parking_lot(const ParkingLotConfig& config);
+
+struct MultipathConfig {
+  TcpVariant variant = TcpVariant::kTcpPr;
+  double epsilon = 0;     // paper sweeps {0, 1, 4, 10, 500}
+  int path_count = 4;     // disjoint paths with 1..path_count relay nodes
+  double link_bw_bps = 10e6;
+  sim::Duration link_delay = sim::Duration::millis(10);
+  std::size_t queue_limit = 100;
+  bool multipath_acks = true;  // ACKs sample the reverse paths too
+  tcp::TcpConfig tcp;
+  core::TcpPrConfig pr;
+  std::uint64_t seed = 1;
+};
+
+std::unique_ptr<Scenario> make_multipath(const MultipathConfig& config);
+
+}  // namespace tcppr::harness

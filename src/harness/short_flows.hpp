@@ -1,0 +1,69 @@
+// Short-flow ("web mice") workload generator: a Poisson stream of
+// fixed-or-sampled-size TCP transfers between two hosts. Used as
+// background traffic and to measure flow completion times, the metric
+// short transfers care about (a reordering-robust sender matters even for
+// mice — a spurious retransmission can double a short flow's lifetime).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "harness/scenarios.hpp"
+
+namespace tcppr::harness {
+
+class ShortFlowPool {
+ public:
+  struct Config {
+    TcpVariant variant = TcpVariant::kSack;
+    double mean_interarrival_s = 0.5;
+    net::SeqNo min_segments = 5;
+    net::SeqNo max_segments = 50;  // sampled log-uniform in [min, max]
+    net::FlowId first_flow_id = 1000;
+    int max_concurrent = 256;
+    tcp::TcpConfig tcp;
+    core::TcpPrConfig pr;
+    std::uint64_t seed = 1;
+  };
+
+  ShortFlowPool(net::Network& network, net::NodeId src, net::NodeId dst,
+                Config config);
+  ~ShortFlowPool();
+
+  void start();
+  void stop();
+
+  std::uint64_t flows_started() const { return started_; }
+  std::uint64_t flows_completed() const { return completed_; }
+  std::size_t flows_active() const { return active_.size(); }
+  // Completion times (seconds) of finished flows.
+  const std::vector<double>& completion_times() const { return durations_; }
+  double mean_completion_time() const;
+
+ private:
+  struct ActiveFlow {
+    std::unique_ptr<tcp::Receiver> receiver;
+    std::unique_ptr<tcp::SenderBase> sender;
+    sim::TimePoint started_at;
+  };
+
+  void spawn();
+  void finish(net::FlowId flow);
+
+  net::Network& network_;
+  net::NodeId src_;
+  net::NodeId dst_;
+  Config config_;
+  sim::Rng rng_;
+  sim::Timer arrival_timer_;
+  bool running_ = false;
+  net::FlowId next_flow_;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::map<net::FlowId, ActiveFlow> active_;
+  std::vector<double> durations_;
+};
+
+}  // namespace tcppr::harness

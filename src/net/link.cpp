@@ -1,0 +1,116 @@
+#include "net/link.hpp"
+
+#include <utility>
+
+#include "net/node.hpp"
+#include "trace/trace.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace tcppr::net {
+
+Link::Link(sim::Scheduler& sched, NodeId from, NodeId to, double bandwidth_bps,
+           sim::Duration prop_delay, std::unique_ptr<Queue> queue)
+    : sched_(sched),
+      from_(from),
+      to_(to),
+      bandwidth_bps_(bandwidth_bps),
+      prop_delay_(prop_delay),
+      queue_(std::move(queue)),
+      loss_rng_(0),
+      jitter_rng_(0) {
+  TCPPR_CHECK(bandwidth_bps_ > 0);
+  TCPPR_CHECK(prop_delay_ >= sim::Duration::zero());
+  TCPPR_CHECK(queue_ != nullptr);
+}
+
+void Link::set_loss_model(double loss_rate, sim::Rng rng) {
+  TCPPR_CHECK(loss_rate >= 0 && loss_rate < 1);
+  loss_rate_ = loss_rate;
+  loss_rng_ = rng;
+}
+
+void Link::set_jitter(sim::Duration max_jitter, sim::Rng rng) {
+  TCPPR_CHECK(max_jitter >= sim::Duration::zero());
+  max_jitter_ = max_jitter;
+  jitter_rng_ = rng;
+}
+
+void Link::send(Packet&& pkt) {
+  if (down_ || (drop_filter_ && drop_filter_(pkt))) {
+    ++stats_.lost;
+    if (tracer_) {
+      tracer_->emit(sched_.now(), trace::EventType::kLossDrop, pkt, from_,
+                    to_);
+    }
+    return;
+  }
+  pkt.enqueued_at = sched_.now();
+  if (tracer_ != nullptr && tracer_->active()) {
+    // The queue consumes the packet either way; keep a copy so a rejection
+    // can still be traced.
+    Packet copy = pkt;
+    const bool accepted = queue_->enqueue(std::move(pkt));
+    tracer_->emit(sched_.now(),
+                  accepted ? trace::EventType::kEnqueue
+                           : trace::EventType::kQueueDrop,
+                  copy, from_, to_);
+    if (!accepted) {
+      TCPPR_LOG_DEBUG("link", "queue drop on %d->%d", from_, to_);
+      return;
+    }
+  } else if (!queue_->enqueue(std::move(pkt))) {
+    TCPPR_LOG_DEBUG("link", "queue drop on %d->%d", from_, to_);
+    return;
+  }
+  if (!busy_) start_transmission();
+}
+
+void Link::start_transmission() {
+  auto pkt = queue_->dequeue();
+  if (!pkt) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  if (tracer_ != nullptr) {
+    tracer_->emit(sched_.now(), trace::EventType::kDequeue, *pkt, from_, to_);
+  }
+  const double tx_seconds =
+      static_cast<double>(pkt->size_bytes) * 8.0 / bandwidth_bps_;
+  // Move the packet into the completion event.
+  sched_.schedule_in(
+      sim::Duration::seconds(tx_seconds),
+      [this, p = std::move(*pkt)]() mutable { on_tx_complete(std::move(p)); });
+}
+
+void Link::on_tx_complete(Packet&& pkt) {
+  // Transmitter is free: begin the next packet (if any) before modelling
+  // this packet's propagation.
+  start_transmission();
+
+  if (loss_rate_ > 0 && loss_rng_.bernoulli(loss_rate_)) {
+    ++stats_.lost;
+    if (tracer_ != nullptr) {
+      tracer_->emit(sched_.now(), trace::EventType::kLossDrop, pkt, from_,
+                    to_);
+    }
+    TCPPR_LOG_DEBUG("link", "loss-model drop on %d->%d", from_, to_);
+    return;
+  }
+  ++pkt.hops;
+  sim::Duration delivery_delay = prop_delay_;
+  if (max_jitter_ > sim::Duration::zero()) {
+    delivery_delay +=
+        max_jitter_ * jitter_rng_.uniform();  // may reorder deliveries
+  }
+  sched_.schedule_in(delivery_delay,
+                     [this, p = std::move(pkt)]() mutable {
+                       ++stats_.delivered;
+                       stats_.bytes_delivered += p.size_bytes;
+                       TCPPR_DCHECK(dst_node_ != nullptr);
+                       dst_node_->receive(std::move(p));
+                     });
+}
+
+}  // namespace tcppr::net

@@ -1,0 +1,100 @@
+// Unidirectional point-to-point link: output queue + transmitter.
+//
+// Store-and-forward: a packet occupies the transmitter for
+// size * 8 / bandwidth seconds, then arrives at the far node one
+// propagation delay later. An optional Bernoulli loss model drops packets
+// at the receiving end (models corruption, used by robustness tests).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tcppr::trace {
+class Tracer;
+}
+
+namespace tcppr::net {
+
+class Node;
+
+struct LinkStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t lost = 0;  // loss-model drops (queue drops live in QueueStats)
+};
+
+class Link {
+ public:
+  Link(sim::Scheduler& sched, NodeId from, NodeId to, double bandwidth_bps,
+       sim::Duration prop_delay, std::unique_ptr<Queue> queue);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Wired once by Network after nodes exist.
+  void set_destination(Node* node) { dst_node_ = node; }
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  // Changes the propagation delay for future transmissions (mobility /
+  // route-change models).
+  void set_prop_delay(sim::Duration delay) { prop_delay_ = delay; }
+  // Random corruption loss applied on delivery.
+  void set_loss_model(double loss_rate, sim::Rng rng);
+  // Per-packet uniform extra delivery delay in [0, max_jitter] (wireless
+  // MAC / scheduling variation). Jittered deliveries may arrive out of
+  // order — an in-path reordering source independent of routing.
+  void set_jitter(sim::Duration max_jitter, sim::Rng rng);
+  // Deterministic drop hook (tests, failure injection): return true to
+  // drop the packet at link entry.
+  void set_drop_filter(std::function<bool(const Packet&)> filter) {
+    drop_filter_ = std::move(filter);
+  }
+  // Administrative state: a down link drops everything offered to it
+  // (mobility / outage models).
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+  // Hands a packet to this link; may drop it immediately if the queue is
+  // full.
+  void send(Packet&& pkt);
+
+  NodeId from() const { return from_; }
+  NodeId to() const { return to_; }
+  double bandwidth_bps() const { return bandwidth_bps_; }
+  sim::Duration prop_delay() const { return prop_delay_; }
+  const Queue& queue() const { return *queue_; }
+  const LinkStats& stats() const { return stats_; }
+  // Queue drops + loss-model drops.
+  std::uint64_t total_drops() const {
+    return queue_->stats().dropped + stats_.lost;
+  }
+
+ private:
+  void start_transmission();
+  void on_tx_complete(Packet&& pkt);
+
+  sim::Scheduler& sched_;
+  NodeId from_;
+  NodeId to_;
+  double bandwidth_bps_;
+  sim::Duration prop_delay_;
+  std::unique_ptr<Queue> queue_;
+  Node* dst_node_ = nullptr;
+  bool busy_ = false;
+  bool down_ = false;
+  double loss_rate_ = 0.0;
+  sim::Rng loss_rng_;
+  sim::Duration max_jitter_ = sim::Duration::zero();
+  sim::Rng jitter_rng_;
+  std::function<bool(const Packet&)> drop_filter_;
+  trace::Tracer* tracer_ = nullptr;
+  LinkStats stats_;
+};
+
+}  // namespace tcppr::net

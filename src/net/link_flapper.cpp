@@ -1,0 +1,50 @@
+#include "net/link_flapper.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace tcppr::net {
+
+LinkFlapper::LinkFlapper(sim::Scheduler& sched, std::vector<Link*> links,
+                         Config config)
+    : sched_(sched),
+      links_(std::move(links)),
+      config_(config),
+      rng_(config.seed),
+      timer_(sched) {
+  TCPPR_CHECK(!links_.empty());
+  TCPPR_CHECK(config_.mean_up > sim::Duration::zero());
+  TCPPR_CHECK(config_.mean_down > sim::Duration::zero());
+}
+
+void LinkFlapper::start() {
+  TCPPR_CHECK(!running_);
+  running_ = true;
+  down_ = false;
+  timer_.schedule_in(
+      sim::Duration::seconds(rng_.exponential(config_.mean_up.as_seconds())),
+      [this] { toggle(); });
+}
+
+void LinkFlapper::stop() {
+  running_ = false;
+  timer_.cancel();
+  if (down_) {
+    for (Link* link : links_) link->set_down(false);
+    down_ = false;
+  }
+}
+
+void LinkFlapper::toggle() {
+  if (!running_) return;
+  down_ = !down_;
+  ++transitions_;
+  for (Link* link : links_) link->set_down(down_);
+  const sim::Duration mean = down_ ? config_.mean_down : config_.mean_up;
+  timer_.schedule_in(
+      sim::Duration::seconds(rng_.exponential(mean.as_seconds())),
+      [this] { toggle(); });
+}
+
+}  // namespace tcppr::net

@@ -1,0 +1,44 @@
+// Link outage model for MANET-style topologies: a set of links toggles
+// between up and down with exponentially distributed durations. Combined
+// with multi-path or flap routing this produces the route-recomputation
+// reordering the paper's introduction attributes to mobile ad-hoc networks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tcppr::net {
+
+class LinkFlapper {
+ public:
+  struct Config {
+    sim::Duration mean_up = sim::Duration::seconds(5);
+    sim::Duration mean_down = sim::Duration::millis(500);
+    std::uint64_t seed = 1;
+  };
+
+  LinkFlapper(sim::Scheduler& sched, std::vector<Link*> links, Config config);
+
+  void start();
+  void stop();
+  bool links_down() const { return down_; }
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  void toggle();
+
+  sim::Scheduler& sched_;
+  std::vector<Link*> links_;
+  Config config_;
+  sim::Rng rng_;
+  sim::Timer timer_;
+  bool running_ = false;
+  bool down_ = false;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace tcppr::net

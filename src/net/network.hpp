@@ -1,0 +1,75 @@
+// Network: owns nodes and links, builds static routes, allocates packet
+// uids. The harness builds topologies through this facade.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "routing/graph.hpp"
+#include "sim/scheduler.hpp"
+#include "trace/trace.hpp"
+
+namespace tcppr::net {
+
+struct LinkConfig {
+  double bandwidth_bps = 10e6;
+  sim::Duration delay = sim::Duration::millis(10);
+  std::size_t queue_limit_packets = 100;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Scheduler& sched) : sched_(sched) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  NodeId add_node();
+  // One direction.
+  Link& add_link(NodeId from, NodeId to, const LinkConfig& cfg);
+  // One direction with a custom queue discipline (RED, priority bands...).
+  Link& add_link_with_queue(NodeId from, NodeId to, double bandwidth_bps,
+                            sim::Duration delay, std::unique_ptr<Queue> queue);
+  // Both directions with identical parameters (the common case).
+  std::pair<Link*, Link*> add_duplex_link(NodeId a, NodeId b,
+                                          const LinkConfig& cfg);
+
+  // Fills every node's next-hop table with shortest paths
+  // (cost = propagation delay, hop-count tiebreak). Call after topology
+  // construction; may be called again after adding links.
+  void compute_static_routes();
+
+  // Graph view (cost = link propagation delay in seconds plus a small
+  // per-hop epsilon so hop count breaks delay ties).
+  routing::Graph build_graph() const;
+
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  Link* find_link(NodeId from, NodeId to);
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+  sim::Scheduler& scheduler() { return sched_; }
+  std::uint64_t allocate_uid() { return next_uid_++; }
+
+  // Attaches a trace sink; all packet events at every node and link are
+  // reported from then on.
+  void add_trace_sink(trace::TraceSink* sink) { tracer_.add_sink(sink); }
+  trace::Tracer& tracer() { return tracer_; }
+
+  // Aggregate drop count over all links (queue + loss model).
+  std::uint64_t total_drops() const;
+
+ private:
+  sim::Scheduler& sched_;
+  trace::Tracer tracer_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::uint64_t next_uid_ = 1;
+};
+
+}  // namespace tcppr::net

@@ -1,0 +1,118 @@
+#include "net/node.hpp"
+
+#include <utility>
+
+#include "trace/trace.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace tcppr::net {
+
+void Node::add_out_link(Link* link) {
+  TCPPR_CHECK(link != nullptr);
+  TCPPR_CHECK(link->from() == id_);
+  const auto [it, inserted] = out_links_.emplace(link->to(), link);
+  TCPPR_CHECK(inserted);  // one link per neighbor direction
+  (void)it;
+}
+
+void Node::set_next_hop(NodeId dst, NodeId next_hop) {
+  TCPPR_CHECK(out_links_.contains(next_hop));
+  next_hop_table_[dst] = next_hop;
+}
+
+void Node::attach_agent(FlowId flow, Agent* agent) {
+  TCPPR_CHECK(agent != nullptr);
+  const auto [it, inserted] = agents_.emplace(flow, agent);
+  TCPPR_CHECK(inserted);
+  (void)it;
+}
+
+void Node::detach_agent(FlowId flow) { agents_.erase(flow); }
+
+void Node::set_ecmp_next_hops(NodeId dst, std::vector<NodeId> next_hops,
+                              sim::Rng rng) {
+  TCPPR_CHECK(!next_hops.empty());
+  for (const NodeId hop : next_hops) {
+    TCPPR_CHECK(out_links_.contains(hop));
+  }
+  ecmp_table_[dst] = std::move(next_hops);
+  ecmp_rng_ = rng;
+}
+
+Link* Node::link_to(NodeId neighbor) const {
+  const auto it = out_links_.find(neighbor);
+  return it == out_links_.end() ? nullptr : it->second;
+}
+
+std::optional<NodeId> Node::next_hop(NodeId dst) const {
+  const auto it = next_hop_table_.find(dst);
+  if (it == next_hop_table_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Node::receive(Packet&& pkt) {
+  if (pkt.dst == id_) {
+    const auto it = agents_.find(pkt.tcp.flow);
+    if (it == agents_.end()) {
+      ++stats_.unroutable;
+      TCPPR_LOG_WARN("node", "node %d: no agent for flow %d", id_,
+                     pkt.tcp.flow);
+      return;
+    }
+    ++stats_.delivered_to_agent;
+    if (tracer_ != nullptr) {
+      tracer_->emit(sched_->now(), trace::EventType::kDeliver, pkt, id_, id_);
+    }
+    it->second->deliver(std::move(pkt));
+    return;
+  }
+  forward(std::move(pkt));
+}
+
+void Node::originate(Packet&& pkt) {
+  pkt.src = id_;
+  if (routing_policy_ != nullptr) {
+    if (auto choice = routing_policy_->choose_route(pkt.dst)) {
+      pkt.source_route = std::move(choice->route);
+      pkt.route_pos = 0;
+      pkt.path_id = choice->path_id;
+    }
+  }
+  if (tracer_ != nullptr) {
+    tracer_->emit(sched_->now(), trace::EventType::kOriginate, pkt, id_,
+                  pkt.dst);
+  }
+  if (pkt.dst == id_) {  // loopback, mostly for tests
+    receive(std::move(pkt));
+    return;
+  }
+  forward(std::move(pkt));
+}
+
+void Node::forward(Packet&& pkt) {
+  NodeId next = kInvalidNode;
+  if (!pkt.source_route.empty() && pkt.route_pos < pkt.source_route.size()) {
+    next = pkt.source_route[pkt.route_pos++];
+  } else if (const auto ecmp = ecmp_table_.find(pkt.dst);
+             ecmp != ecmp_table_.end()) {
+    next = ecmp->second[ecmp_rng_.uniform_int(ecmp->second.size())];
+  } else if (auto hop = next_hop(pkt.dst)) {
+    next = *hop;
+  }
+  if (next == kInvalidNode) {
+    ++stats_.unroutable;
+    TCPPR_LOG_WARN("node", "node %d: no route to %d", id_, pkt.dst);
+    return;
+  }
+  Link* link = link_to(next);
+  if (link == nullptr) {
+    ++stats_.unroutable;
+    TCPPR_LOG_WARN("node", "node %d: no link to next hop %d", id_, next);
+    return;
+  }
+  ++stats_.forwarded;
+  link->send(std::move(pkt));
+}
+
+}  // namespace tcppr::net

@@ -1,0 +1,99 @@
+// Network node: forwards packets and hosts transport agents.
+//
+// Forwarding uses the packet's source route when present (multi-path
+// experiments) and the node's static next-hop table otherwise. Agents
+// (TCP senders/receivers, CBR sinks) register per flow id.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+
+namespace tcppr::trace {
+class Tracer;
+}
+
+namespace tcppr::net {
+
+// A transport endpoint attached to a node.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  virtual void deliver(Packet&& pkt) = 0;
+};
+
+// Decides a full route for packets originated at a node; used to implement
+// per-packet multi-path routing. Returning nullopt falls back to the
+// node's next-hop table.
+class SourceRoutingPolicy {
+ public:
+  struct Choice {
+    std::vector<NodeId> route;  // nodes after this one, ending at dst
+    int path_id = -1;
+  };
+  virtual ~SourceRoutingPolicy() = default;
+  virtual std::optional<Choice> choose_route(NodeId dst) = 0;
+};
+
+struct NodeStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t delivered_to_agent = 0;
+  std::uint64_t unroutable = 0;  // no next hop / no agent: dropped
+};
+
+class Node {
+ public:
+  explicit Node(NodeId id) : id_(id) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+
+  void add_out_link(Link* link);
+  void set_next_hop(NodeId dst, NodeId next_hop);
+  void attach_agent(FlowId flow, Agent* agent);
+  void detach_agent(FlowId flow);
+  // Policy applies to packets originated here (not transit traffic).
+  void set_source_routing_policy(SourceRoutingPolicy* policy) {
+    routing_policy_ = policy;
+  }
+  void set_tracer(trace::Tracer* tracer, sim::Scheduler* sched) {
+    tracer_ = tracer;
+    sched_ = sched;
+  }
+  // ECMP-style equal-cost spreading for transit/originated traffic toward
+  // dst: each packet picks uniformly among the given neighbors. Overrides
+  // the single next-hop entry.
+  void set_ecmp_next_hops(NodeId dst, std::vector<NodeId> next_hops,
+                          sim::Rng rng);
+
+  // Entry point for packets arriving from a link.
+  void receive(Packet&& pkt);
+  // Entry point for locally generated packets.
+  void originate(Packet&& pkt);
+
+  Link* link_to(NodeId neighbor) const;
+  std::optional<NodeId> next_hop(NodeId dst) const;
+  const NodeStats& stats() const { return stats_; }
+
+ private:
+  void forward(Packet&& pkt);
+
+  NodeId id_;
+  std::unordered_map<NodeId, Link*> out_links_;       // by neighbor id
+  std::unordered_map<NodeId, NodeId> next_hop_table_;  // dst -> neighbor
+  std::unordered_map<FlowId, Agent*> agents_;
+  std::unordered_map<NodeId, std::vector<NodeId>> ecmp_table_;
+  SourceRoutingPolicy* routing_policy_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
+  sim::Scheduler* sched_ = nullptr;
+  sim::Rng ecmp_rng_{0};
+  NodeStats stats_;
+};
+
+}  // namespace tcppr::net

@@ -1,0 +1,118 @@
+// Router queue disciplines.
+//
+// DropTailQueue is the paper's configuration (FIFO, limit counted in
+// packets, as in ns-2). RedQueue and PriorityQueue are extensions:
+// PriorityQueue models the DiffServ-style differentiated forwarding that
+// the paper's introduction names as a reordering source — packets of one
+// flow marked into different bands leave the router out of order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+
+namespace tcppr::net {
+
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t bytes_enqueued = 0;
+  std::uint64_t bytes_dropped = 0;
+};
+
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  // Takes ownership of pkt; returns false (and drops) when full.
+  virtual bool enqueue(Packet&& pkt) = 0;
+  virtual std::optional<Packet> dequeue() = 0;
+  virtual std::size_t length_packets() const = 0;
+  virtual std::uint64_t length_bytes() const = 0;
+
+  const QueueStats& stats() const { return stats_; }
+
+ protected:
+  QueueStats stats_;
+};
+
+class DropTailQueue final : public Queue {
+ public:
+  // limit_bytes == 0 disables the byte cap (ns-2 counts packets; real
+  // routers usually cap bytes — both supported).
+  explicit DropTailQueue(std::size_t limit_packets,
+                         std::uint64_t limit_bytes = 0);
+
+  bool enqueue(Packet&& pkt) override;
+  std::optional<Packet> dequeue() override;
+  std::size_t length_packets() const override { return q_.size(); }
+  std::uint64_t length_bytes() const override { return bytes_; }
+  std::size_t limit_packets() const { return limit_; }
+
+ private:
+  std::size_t limit_;
+  std::uint64_t limit_bytes_;
+  std::uint64_t bytes_ = 0;
+  std::deque<Packet> q_;
+};
+
+// Strict-priority bands (band 0 served first). The classifier maps each
+// packet to a band; per-band limits apply. A flow whose packets land in
+// different bands is reordered in the order DiffServ would reorder it.
+class PriorityQueue final : public Queue {
+ public:
+  using Classifier = std::function<int(const Packet&)>;
+
+  PriorityQueue(int bands, std::size_t limit_per_band, Classifier classifier);
+
+  bool enqueue(Packet&& pkt) override;
+  std::optional<Packet> dequeue() override;
+  std::size_t length_packets() const override;
+  std::uint64_t length_bytes() const override { return bytes_; }
+  std::size_t band_length(int band) const;
+
+ private:
+  std::size_t limit_per_band_;
+  Classifier classifier_;
+  std::uint64_t bytes_ = 0;
+  std::vector<std::deque<Packet>> bands_;
+};
+
+// Random Early Detection (Floyd & Jacobson 1993), gentle mode.
+// Extension: not used by the paper's experiments, but useful for checking
+// that TCP-PR's loss response is queue-discipline agnostic.
+class RedQueue final : public Queue {
+ public:
+  struct Params {
+    std::size_t limit_packets = 100;
+    double min_thresh = 5;     // packets
+    double max_thresh = 15;    // packets
+    double max_p = 0.1;        // drop probability at max_thresh
+    double weight = 0.002;     // EWMA weight for the average queue
+  };
+
+  RedQueue(Params params, sim::Rng rng);
+
+  bool enqueue(Packet&& pkt) override;
+  std::optional<Packet> dequeue() override;
+  std::size_t length_packets() const override { return q_.size(); }
+  std::uint64_t length_bytes() const override { return bytes_; }
+  double average_queue() const { return avg_; }
+
+ private:
+  Params params_;
+  sim::Rng rng_;
+  double avg_ = 0;
+  int count_since_drop_ = -1;
+  std::uint64_t bytes_ = 0;
+  std::deque<Packet> q_;
+};
+
+}  // namespace tcppr::net

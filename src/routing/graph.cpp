@@ -1,0 +1,133 @@
+#include "routing/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace tcppr::routing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Graph::Graph(int node_count) : adj_(static_cast<std::size_t>(node_count)) {
+  TCPPR_CHECK(node_count >= 0);
+}
+
+void Graph::add_edge(NodeId from, NodeId to, double cost) {
+  TCPPR_CHECK(from >= 0 && from < node_count());
+  TCPPR_CHECK(to >= 0 && to < node_count());
+  TCPPR_CHECK(cost >= 0);
+  adj_[static_cast<std::size_t>(from)].push_back(Edge{to, cost});
+}
+
+const std::vector<Graph::Edge>& Graph::edges_from(NodeId n) const {
+  TCPPR_CHECK(n >= 0 && n < node_count());
+  return adj_[static_cast<std::size_t>(n)];
+}
+
+Graph::ShortestPathTree Graph::shortest_paths(NodeId src) const {
+  TCPPR_CHECK(src >= 0 && src < node_count());
+  const std::size_t n = adj_.size();
+  ShortestPathTree tree;
+  tree.dist.assign(n, kInf);
+  tree.pred.assign(n, net::kInvalidNode);
+  tree.dist[static_cast<std::size_t>(src)] = 0;
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > tree.dist[static_cast<std::size_t>(u)]) continue;
+    for (const Edge& e : adj_[static_cast<std::size_t>(u)]) {
+      const double nd = d + e.cost;
+      if (nd < tree.dist[static_cast<std::size_t>(e.to)]) {
+        tree.dist[static_cast<std::size_t>(e.to)] = nd;
+        tree.pred[static_cast<std::size_t>(e.to)] = u;
+        pq.emplace(nd, e.to);
+      }
+    }
+  }
+  return tree;
+}
+
+std::optional<std::vector<NodeId>> Graph::shortest_path(NodeId src,
+                                                        NodeId dst) const {
+  TCPPR_CHECK(dst >= 0 && dst < node_count());
+  const ShortestPathTree tree = shortest_paths(src);
+  if (tree.dist[static_cast<std::size_t>(dst)] == kInf) return std::nullopt;
+  std::vector<NodeId> path;
+  for (NodeId v = dst; v != net::kInvalidNode; v = tree.pred[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+    if (v == src) break;
+  }
+  std::reverse(path.begin(), path.end());
+  TCPPR_CHECK(path.front() == src);
+  return path;
+}
+
+std::vector<std::vector<NodeId>> Graph::node_disjoint_paths(
+    NodeId src, NodeId dst) const {
+  std::vector<std::vector<NodeId>> paths;
+  std::vector<bool> removed(adj_.size(), false);
+
+  for (;;) {
+    // Dijkstra on the residual graph (removed interior nodes skipped).
+    const std::size_t n = adj_.size();
+    std::vector<double> dist(n, kInf);
+    std::vector<NodeId> pred(n, net::kInvalidNode);
+    dist[static_cast<std::size_t>(src)] = 0;
+    using Item = std::pair<double, NodeId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.emplace(0.0, src);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[static_cast<std::size_t>(u)]) continue;
+      for (const Edge& e : adj_[static_cast<std::size_t>(u)]) {
+        if (removed[static_cast<std::size_t>(e.to)] && e.to != dst) continue;
+        const double nd = d + e.cost;
+        if (nd < dist[static_cast<std::size_t>(e.to)]) {
+          dist[static_cast<std::size_t>(e.to)] = nd;
+          pred[static_cast<std::size_t>(e.to)] = u;
+          pq.emplace(nd, e.to);
+        }
+      }
+    }
+    if (dist[static_cast<std::size_t>(dst)] == kInf) break;
+    std::vector<NodeId> path;
+    for (NodeId v = dst; v != net::kInvalidNode; v = pred[static_cast<std::size_t>(v)]) {
+      path.push_back(v);
+      if (v == src) break;
+    }
+    std::reverse(path.begin(), path.end());
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      removed[static_cast<std::size_t>(path[i])] = true;
+    }
+    paths.push_back(std::move(path));
+    if (paths.back().size() == 2) {
+      // Direct src->dst edge: cannot remove interior nodes, would loop.
+      break;
+    }
+  }
+  return paths;
+}
+
+double Graph::path_cost(const std::vector<NodeId>& path) const {
+  double total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto& edges = adj_[static_cast<std::size_t>(path[i])];
+    const auto it =
+        std::find_if(edges.begin(), edges.end(),
+                     [&](const Edge& e) { return e.to == path[i + 1]; });
+    TCPPR_CHECK(it != edges.end());
+    total += it->cost;
+  }
+  return total;
+}
+
+}  // namespace tcppr::routing

@@ -1,0 +1,52 @@
+// Directed weighted graph utilities used for route computation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace tcppr::routing {
+
+using net::NodeId;
+
+class Graph {
+ public:
+  explicit Graph(int node_count);
+
+  void add_edge(NodeId from, NodeId to, double cost);
+  int node_count() const { return static_cast<int>(adj_.size()); }
+
+  struct Edge {
+    NodeId to;
+    double cost;
+  };
+  const std::vector<Edge>& edges_from(NodeId n) const;
+
+  // Dijkstra from src; returns per-node (distance, predecessor). Unreachable
+  // nodes get distance infinity and predecessor kInvalidNode.
+  struct ShortestPathTree {
+    std::vector<double> dist;
+    std::vector<NodeId> pred;
+  };
+  ShortestPathTree shortest_paths(NodeId src) const;
+
+  // Shortest src->dst path as a node list including both endpoints, or
+  // nullopt when unreachable.
+  std::optional<std::vector<NodeId>> shortest_path(NodeId src,
+                                                   NodeId dst) const;
+
+  // Greedy node-disjoint path enumeration: repeatedly extract the shortest
+  // path and delete its interior nodes. Returns paths sorted by cost.
+  // (Exact disjoint-path packing is NP-ish for >2 paths; greedy matches how
+  // the paper's parallel-path topologies are constructed.)
+  std::vector<std::vector<NodeId>> node_disjoint_paths(NodeId src,
+                                                       NodeId dst) const;
+
+  double path_cost(const std::vector<NodeId>& path) const;
+
+ private:
+  std::vector<std::vector<Edge>> adj_;
+};
+
+}  // namespace tcppr::routing

@@ -1,0 +1,76 @@
+#include "routing/multipath.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace tcppr::routing {
+
+PathSet PathSet::disjoint_paths(const net::Network& network, NodeId src,
+                                NodeId dst) {
+  const Graph g = network.build_graph();
+  PathSet set;
+  set.src = src;
+  set.dst = dst;
+  set.paths = g.node_disjoint_paths(src, dst);
+  set.costs.reserve(set.paths.size());
+  for (const auto& p : set.paths) set.costs.push_back(g.path_cost(p));
+  return set;
+}
+
+MultipathSelector::MultipathSelector(PathSet paths, double epsilon,
+                                     sim::Rng rng)
+    : paths_(std::move(paths)),
+      picks_(paths_.paths.size(), 0),
+      rng_(rng) {
+  TCPPR_CHECK(!paths_.paths.empty());
+  TCPPR_CHECK(paths_.costs.size() == paths_.paths.size());
+  TCPPR_CHECK(epsilon >= 0);
+  const double c_min =
+      *std::min_element(paths_.costs.begin(), paths_.costs.end());
+  TCPPR_CHECK(c_min > 0);
+  weights_.reserve(paths_.costs.size());
+  for (const double c : paths_.costs) {
+    weights_.push_back(std::exp(-epsilon * (c - c_min) / c_min));
+  }
+}
+
+std::optional<net::SourceRoutingPolicy::Choice>
+MultipathSelector::choose_route(NodeId dst) {
+  if (dst != paths_.dst) return std::nullopt;
+  const int idx = rng_.categorical(weights_.data(),
+                                   static_cast<int>(weights_.size()));
+  ++picks_[static_cast<std::size_t>(idx)];
+  const auto& full = paths_.paths[static_cast<std::size_t>(idx)];
+  Choice choice;
+  choice.route.assign(full.begin() + 1, full.end());  // skip src itself
+  choice.path_id = idx;
+  return choice;
+}
+
+RouteFlapPolicy::RouteFlapPolicy(sim::Scheduler& sched, PathSet paths,
+                                 sim::Duration flap_interval)
+    : sched_(sched),
+      paths_(std::move(paths)),
+      interval_(flap_interval),
+      started_(sched.now()) {
+  TCPPR_CHECK(!paths_.paths.empty());
+  TCPPR_CHECK(interval_ > sim::Duration::zero());
+}
+
+std::optional<net::SourceRoutingPolicy::Choice>
+RouteFlapPolicy::choose_route(NodeId dst) {
+  if (dst != paths_.dst) return std::nullopt;
+  const auto elapsed = sched_.now() - started_;
+  current_ = static_cast<int>((elapsed.as_nanos() / interval_.as_nanos()) %
+                              static_cast<std::int64_t>(paths_.paths.size()));
+  const auto& full = paths_.paths[static_cast<std::size_t>(current_)];
+  Choice choice;
+  choice.route.assign(full.begin() + 1, full.end());
+  choice.path_id = current_;
+  return choice;
+}
+
+}  // namespace tcppr::routing

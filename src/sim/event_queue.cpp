@@ -1,0 +1,142 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace tcppr::sim {
+
+std::optional<QueuedEvent> BinaryHeapQueue::pop_min() {
+  if (heap_.empty()) return std::nullopt;
+  QueuedEvent top = heap_.top();
+  heap_.pop();
+  return top;
+}
+
+CalendarQueue::CalendarQueue() : buckets_(16) {}
+
+std::size_t CalendarQueue::bucket_index(TimePoint t) const {
+  const std::int64_t ns = std::max<std::int64_t>(t.as_nanos(), 0);
+  return static_cast<std::size_t>((ns / width_ns_) %
+                                  static_cast<std::int64_t>(buckets_.size()));
+}
+
+void CalendarQueue::insert(const QueuedEvent& event) {
+  auto& bucket = buckets_[bucket_index(event.time)];
+  // Buckets are kept sorted descending so the earliest event is at the
+  // back (cheap pop); insertion scans from the back where near-future
+  // events cluster.
+  const auto pos = std::upper_bound(
+      bucket.begin(), bucket.end(), event,
+      [](const QueuedEvent& a, const QueuedEvent& b) { return b < a; });
+  bucket.insert(pos, event);
+}
+
+void CalendarQueue::push(const QueuedEvent& event) {
+  insert(event);
+  ++size_;
+  if (event.time < last_popped_) {
+    // A push behind the cursor (e.g. a peeked-too-far event returned by
+    // run_until): re-seat the scan so the minimum stays reachable in
+    // order.
+    last_popped_ = std::max(event.time, TimePoint::origin());
+    current_ = bucket_index(last_popped_);
+    year_start_ns_ = (last_popped_.as_nanos() / width_ns_ -
+                      static_cast<std::int64_t>(current_)) *
+                     width_ns_;
+  }
+  if (size_ > 2 * buckets_.size() && buckets_.size() < (1u << 20)) {
+    resize(buckets_.size() * 2);
+  }
+}
+
+std::int64_t CalendarQueue::estimate_width() const {
+  // Average inter-event spacing over the pending population, clamped to a
+  // sane range: buckets should hold ~1 event of the current "year".
+  TimePoint lo = TimePoint::max();
+  TimePoint hi;
+  for (const auto& bucket : buckets_) {
+    for (const QueuedEvent& e : bucket) {
+      lo = std::min(lo, e.time);
+      hi = std::max(hi, e.time);
+    }
+  }
+  if (size_ < 2 || hi <= lo) return width_ns_;
+  const std::int64_t span = (hi - lo).as_nanos();
+  return std::clamp<std::int64_t>(span / static_cast<std::int64_t>(size_),
+                                  1'000, 1'000'000'000);
+}
+
+void CalendarQueue::resize(std::size_t new_bucket_count) {
+  std::vector<QueuedEvent> all;
+  all.reserve(size_);
+  for (auto& bucket : buckets_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+  width_ns_ = estimate_width();
+  buckets_.assign(new_bucket_count, {});
+  for (const QueuedEvent& e : all) insert(e);
+  // Reset the cursor to the bucket of the next event to pop.
+  last_popped_ = std::max(last_popped_, TimePoint::origin());
+  current_ = bucket_index(last_popped_);
+  year_start_ns_ =
+      (last_popped_.as_nanos() / width_ns_ -
+       static_cast<std::int64_t>(current_)) *
+      width_ns_;
+}
+
+std::optional<QueuedEvent> CalendarQueue::pop_min() {
+  if (size_ == 0) return std::nullopt;
+
+  // Scan buckets from the cursor; an event belongs to the current pass
+  // when it falls inside this bucket's slice of the current year.
+  const std::size_t n = buckets_.size();
+  for (std::size_t scanned = 0; scanned < n; ++scanned) {
+    auto& bucket = buckets_[current_];
+    const std::int64_t slice_end =
+        year_start_ns_ +
+        (static_cast<std::int64_t>(current_) + 1) * width_ns_;
+    if (!bucket.empty() && bucket.back().time.as_nanos() < slice_end) {
+      QueuedEvent event = bucket.back();
+      bucket.pop_back();
+      --size_;
+      last_popped_ = event.time;
+      if (size_ < buckets_.size() / 4 && buckets_.size() > 16) {
+        resize(buckets_.size() / 2);
+      }
+      return event;
+    }
+    ++current_;
+    if (current_ == n) {
+      current_ = 0;
+      year_start_ns_ += static_cast<std::int64_t>(n) * width_ns_;
+    }
+  }
+
+  // Nothing in the coming year: jump straight to the global minimum
+  // (classic calendar-queue fallback for sparse horizons).
+  const QueuedEvent* min_event = nullptr;
+  for (const auto& bucket : buckets_) {
+    if (bucket.empty()) continue;
+    if (min_event == nullptr || bucket.back() < *min_event) {
+      min_event = &bucket.back();
+    }
+  }
+  TCPPR_CHECK(min_event != nullptr);
+  QueuedEvent event = *min_event;
+  // Remove it.
+  auto& bucket = buckets_[bucket_index(event.time)];
+  bucket.pop_back();
+  --size_;
+  last_popped_ = event.time;
+  // Re-seat the cursor at the popped event's bucket/year.
+  current_ = bucket_index(event.time);
+  year_start_ns_ = (event.time.as_nanos() / width_ns_ -
+                    static_cast<std::int64_t>(current_)) *
+                   width_ns_;
+  return event;
+}
+
+}  // namespace tcppr::sim

@@ -1,0 +1,81 @@
+// Pending-event set implementations for the scheduler.
+//
+// BinaryHeapQueue is the default. CalendarQueue (R. Brown, CACM 1988) is
+// the classic O(1)-amortized structure used by ns-2's scheduler; it wins
+// when the event population is large and arrival times are roughly
+// uniform, which is exactly a loaded packet simulation. Both order events
+// by (time, insertion sequence) so simulations are backend-independent —
+// a property the test suite checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tcppr::sim {
+
+struct QueuedEvent {
+  TimePoint time;
+  std::uint64_t seq = 0;  // insertion order; ties break FIFO
+  std::uint64_t id = 0;
+
+  friend bool operator<(const QueuedEvent& a, const QueuedEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+};
+
+class EventQueue {
+ public:
+  virtual ~EventQueue() = default;
+  virtual void push(const QueuedEvent& event) = 0;
+  // Removes and returns the earliest event, or nullopt when empty.
+  virtual std::optional<QueuedEvent> pop_min() = 0;
+  virtual std::size_t size() const = 0;
+  bool empty() const { return size() == 0; }
+};
+
+class BinaryHeapQueue final : public EventQueue {
+ public:
+  void push(const QueuedEvent& event) override { heap_.push(event); }
+  std::optional<QueuedEvent> pop_min() override;
+  std::size_t size() const override { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
+      return b < a;
+    }
+  };
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> heap_;
+};
+
+class CalendarQueue final : public EventQueue {
+ public:
+  CalendarQueue();
+
+  void push(const QueuedEvent& event) override;
+  std::optional<QueuedEvent> pop_min() override;
+  std::size_t size() const override { return size_; }
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  void insert(const QueuedEvent& event);
+  std::size_t bucket_index(TimePoint t) const;
+  void resize(std::size_t new_bucket_count);
+  std::int64_t estimate_width() const;
+
+  std::vector<std::vector<QueuedEvent>> buckets_;  // each kept sorted desc
+  std::int64_t width_ns_ = 1'000'000;              // bucket width
+  std::size_t current_ = 0;                        // cursor bucket
+  std::int64_t year_start_ns_ = 0;  // time at bucket 0 of current round
+  std::size_t size_ = 0;
+  TimePoint last_popped_;
+};
+
+}  // namespace tcppr::sim

@@ -1,0 +1,89 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tcppr::sim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng Rng::fork(std::uint64_t salt) const {
+  std::uint64_t mix = s_[0] ^ (salt * 0xD1342543DE82EF95ull + 0x2545F4914F6CDD1Dull);
+  return Rng(mix);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  TCPPR_DCHECK(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  TCPPR_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = n * ((~std::uint64_t{0}) / n);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % n;
+}
+
+double Rng::exponential(double mean) {
+  TCPPR_DCHECK(mean > 0);
+  double u = uniform();
+  while (u == 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+int Rng::categorical(const double* weights, int n) {
+  TCPPR_CHECK(n > 0);
+  double total = 0;
+  for (int i = 0; i < n; ++i) {
+    TCPPR_DCHECK(weights[i] >= 0);
+    total += weights[i];
+  }
+  TCPPR_CHECK(total > 0);
+  double x = uniform() * total;
+  for (int i = 0; i < n; ++i) {
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  return n - 1;  // Floating-point slack: land on the last bucket.
+}
+
+}  // namespace tcppr::sim

@@ -1,0 +1,83 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace tcppr::sim {
+
+Scheduler::Scheduler(SchedulerBackend backend) {
+  switch (backend) {
+    case SchedulerBackend::kBinaryHeap:
+      queue_ = std::make_unique<BinaryHeapQueue>();
+      break;
+    case SchedulerBackend::kCalendarQueue:
+      queue_ = std::make_unique<CalendarQueue>();
+      break;
+  }
+  TCPPR_CHECK(queue_ != nullptr);
+}
+
+EventId Scheduler::schedule_at(TimePoint t, Callback cb) {
+  TCPPR_CHECK(t >= now_);
+  TCPPR_CHECK(cb != nullptr);
+  const std::uint64_t id = next_id_++;
+  queue_->push(QueuedEvent{t, next_seq_++, id});
+  live_.emplace(id, std::move(cb));
+  return EventId{id};
+}
+
+EventId Scheduler::schedule_in(Duration d, Callback cb) {
+  TCPPR_CHECK(d >= Duration::zero());
+  return schedule_at(now_ + d, std::move(cb));
+}
+
+bool Scheduler::cancel(EventId id) { return live_.erase(id.value) > 0; }
+
+bool Scheduler::is_pending(EventId id) const {
+  return live_.contains(id.value);
+}
+
+bool Scheduler::pop_next(QueuedEvent& out) {
+  while (auto event = queue_->pop_min()) {
+    if (live_.contains(event->id)) {
+      out = *event;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  stopped_ = false;
+  QueuedEvent e;
+  while (!stopped_ && pop_next(e)) {
+    now_ = e.time;
+    auto it = live_.find(e.id);
+    Callback cb = std::move(it->second);
+    live_.erase(it);
+    ++processed_;
+    cb();
+  }
+}
+
+void Scheduler::run_until(TimePoint deadline) {
+  stopped_ = false;
+  QueuedEvent e;
+  while (!stopped_ && pop_next(e)) {
+    if (e.time > deadline) {
+      // Too far: put it back (it keeps its original insertion order key).
+      queue_->push(e);
+      break;
+    }
+    now_ = e.time;
+    auto it = live_.find(e.id);
+    Callback cb = std::move(it->second);
+    live_.erase(it);
+    ++processed_;
+    cb();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace tcppr::sim

@@ -1,0 +1,109 @@
+// The discrete-event scheduler at the heart of the simulator.
+//
+// Events are callbacks ordered by (time, insertion sequence); ties break
+// FIFO, which matches ns-2 semantics and keeps runs deterministic.
+// Cancellation is lazy: cancel() removes the callback from the live map and
+// stale queue entries are skipped on pop. The pending-event set is
+// pluggable (binary heap by default, calendar queue like ns-2's scheduler
+// for large event populations); see sim/event_queue.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace tcppr::sim {
+
+// Opaque handle for a scheduled event; value 0 is "never scheduled".
+struct EventId {
+  std::uint64_t value = 0;
+  constexpr bool valid() const { return value != 0; }
+  friend constexpr bool operator==(EventId, EventId) = default;
+};
+
+enum class SchedulerBackend { kBinaryHeap, kCalendarQueue };
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Scheduler(SchedulerBackend backend = SchedulerBackend::kBinaryHeap);
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Schedules cb at absolute time t (>= now).
+  EventId schedule_at(TimePoint t, Callback cb);
+  // Schedules cb after delay d (>= 0).
+  EventId schedule_in(Duration d, Callback cb);
+
+  // Returns true if the event was pending and is now cancelled.
+  bool cancel(EventId id);
+  bool is_pending(EventId id) const;
+
+  // Runs events until the queue drains or stop() is called.
+  void run();
+  // Runs events with time <= deadline; leaves later events queued and
+  // advances now() to the deadline.
+  void run_until(TimePoint deadline);
+  // Requests that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  std::size_t pending_count() const { return live_.size(); }
+  std::uint64_t processed_count() const { return processed_; }
+
+ private:
+  // Pops the next live (non-cancelled) event, skipping stale entries.
+  bool pop_next(QueuedEvent& out);
+
+  TimePoint now_;
+  bool stopped_ = false;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::unique_ptr<EventQueue> queue_;
+  std::unordered_map<std::uint64_t, Callback> live_;
+};
+
+// RAII one-shot timer bound to a scheduler: rescheduling cancels the
+// previous shot; destruction cancels the pending shot.
+class Timer {
+ public:
+  explicit Timer(Scheduler& sched) : sched_(sched), id_{} {}
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  void schedule_at(TimePoint t, Scheduler::Callback cb) {
+    cancel();
+    id_ = sched_.schedule_at(t, std::move(cb));
+  }
+  void schedule_in(Duration d, Scheduler::Callback cb) {
+    cancel();
+    id_ = sched_.schedule_in(d, std::move(cb));
+  }
+  void cancel() {
+    // GCC 12 reports a spurious -Wmaybe-uninitialized for id_ when this is
+    // inlined into deeply nested test bodies; id_ is initialized in every
+    // constructor path.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+    if (id_.valid()) {
+      sched_.cancel(id_);
+      id_ = EventId{};
+    }
+#pragma GCC diagnostic pop
+  }
+  bool pending() const { return id_.valid() && sched_.is_pending(id_); }
+
+ private:
+  Scheduler& sched_;
+  EventId id_{};
+};
+
+}  // namespace tcppr::sim

@@ -1,0 +1,42 @@
+#include "stats/flow_stats.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace tcppr::stats {
+
+GaugeSampler::GaugeSampler(sim::Scheduler& sched, sim::Duration interval,
+                           std::function<double()> gauge)
+    : sched_(sched),
+      interval_(interval),
+      gauge_(std::move(gauge)),
+      timer_(sched) {
+  TCPPR_CHECK(interval_ > sim::Duration::zero());
+  TCPPR_CHECK(gauge_ != nullptr);
+}
+
+void GaugeSampler::start() { tick(); }
+
+void GaugeSampler::stop() { timer_.cancel(); }
+
+void GaugeSampler::tick() {
+  samples_.push_back(Sample{sched_.now(), gauge_()});
+  timer_.schedule_in(interval_, [this] { tick(); });
+}
+
+double GaugeSampler::rate_over(sim::TimePoint t0, sim::TimePoint t1) const {
+  const Sample* first = nullptr;
+  const Sample* last = nullptr;
+  for (const Sample& s : samples_) {
+    if (s.time >= t0 && first == nullptr) first = &s;
+    if (s.time <= t1) last = &s;
+  }
+  if (first == nullptr || last == nullptr || last->time <= first->time) {
+    return 0;
+  }
+  return (last->value - first->value) /
+         (last->time - first->time).as_seconds();
+}
+
+}  // namespace tcppr::stats

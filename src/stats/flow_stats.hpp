@@ -1,0 +1,57 @@
+// Time-series sampling utilities for experiments: periodic sampling of an
+// arbitrary gauge (cwnd, cumulative acked bytes, queue length) and rate
+// computation over a trailing window.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace tcppr::stats {
+
+// Samples `gauge` every `interval` while the simulation runs; stores
+// (time, value) pairs.
+class GaugeSampler {
+ public:
+  struct Sample {
+    sim::TimePoint time;
+    double value;
+  };
+
+  GaugeSampler(sim::Scheduler& sched, sim::Duration interval,
+               std::function<double()> gauge);
+
+  void start();
+  void stop();
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  // Value change per second between the first sample at/after t0 and the
+  // last sample at/before t1 (e.g. bytes -> bytes/s). Returns 0 when fewer
+  // than two samples fall in the window.
+  double rate_over(sim::TimePoint t0, sim::TimePoint t1) const;
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  sim::Duration interval_;
+  std::function<double()> gauge_;
+  sim::Timer timer_;
+  std::vector<Sample> samples_;
+};
+
+// Counts arrivals (e.g. bytes acked) and reports the total between two
+// explicit marks; simpler than GaugeSampler when only one window matters.
+class WindowCounter {
+ public:
+  void mark_start(double current_total) { start_total_ = current_total; }
+  double delta(double current_total) const { return current_total - start_total_; }
+
+ private:
+  double start_total_ = 0;
+};
+
+}  // namespace tcppr::stats

@@ -1,0 +1,65 @@
+#include "stats/metrics.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tcppr::stats {
+
+double mean(const std::vector<double>& x) {
+  if (x.empty()) return 0;
+  double s = 0;
+  for (const double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double variance(const std::vector<double>& x) {
+  if (x.empty()) return 0;
+  const double m = mean(x);
+  double s = 0;
+  for (const double v : x) s += (v - m) * (v - m);
+  return s / static_cast<double>(x.size());
+}
+
+std::vector<double> normalized_throughput(const std::vector<double>& x) {
+  std::vector<double> out;
+  out.reserve(x.size());
+  const double m = mean(x);
+  if (m <= 0) {
+    out.assign(x.size(), 0.0);
+    return out;
+  }
+  for (const double v : x) out.push_back(v / m);
+  return out;
+}
+
+double mean_of(const std::vector<double>& values,
+               const std::vector<std::size_t>& members) {
+  if (members.empty()) return 0;
+  double s = 0;
+  for (const std::size_t i : members) {
+    TCPPR_CHECK(i < values.size());
+    s += values[i];
+  }
+  return s / static_cast<double>(members.size());
+}
+
+double coefficient_of_variation(const std::vector<double>& values) {
+  const double m = mean(values);
+  if (m == 0) return 0;
+  return std::sqrt(variance(values)) / m;
+}
+
+double jain_index(const std::vector<double>& x) {
+  if (x.empty()) return 0;
+  double s = 0;
+  double s2 = 0;
+  for (const double v : x) {
+    s += v;
+    s2 += v * v;
+  }
+  if (s2 == 0) return 0;
+  return s * s / (static_cast<double>(x.size()) * s2);
+}
+
+}  // namespace tcppr::stats

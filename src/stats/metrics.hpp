@@ -1,0 +1,29 @@
+// Fairness and dispersion metrics used by the paper's evaluation
+// (Section 4): per-flow normalized throughput, mean normalized throughput
+// per protocol, coefficient of variation, plus Jain's fairness index as a
+// cross-check.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tcppr::stats {
+
+// T_i = x_i / ((1/n) * sum_j x_j). An empty input yields an empty result.
+std::vector<double> normalized_throughput(const std::vector<double>& x);
+
+// Mean of the values selected by `members` (indices into `values`).
+double mean_of(const std::vector<double>& values,
+               const std::vector<std::size_t>& members);
+
+// Population coefficient of variation: std / mean. Zero-mean inputs
+// return 0.
+double coefficient_of_variation(const std::vector<double>& values);
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1 = perfectly fair.
+double jain_index(const std::vector<double>& x);
+
+double mean(const std::vector<double>& x);
+double variance(const std::vector<double>& x);  // population variance
+
+}  // namespace tcppr::stats

@@ -1,0 +1,54 @@
+#include "stats/reorder.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace tcppr::stats {
+
+ReorderMonitor::ReorderMonitor(std::size_t histogram_buckets)
+    : histogram_(histogram_buckets, 0) {
+  TCPPR_CHECK(histogram_buckets >= 2);
+}
+
+void ReorderMonitor::on_arrival(net::SeqNo seq) {
+  ++total_;
+  if (seq > max_seen_) {
+    max_seen_ = seq;
+  } else {
+    // RFC 4737 Type-P-Reordered: arrived after a higher sequence number.
+    ++reordered_;
+    const net::SeqNo extent = max_seen_ - seq;
+    max_extent_ = std::max(max_extent_, extent);
+    extent_sum_ += static_cast<double>(extent);
+    const std::size_t bucket = std::min(
+        static_cast<std::size_t>(extent), histogram_.size() - 1);
+    ++histogram_[bucket];
+  }
+
+  // In-order restoration buffer: duplicates and old segments don't grow it.
+  if (seq >= next_expected_ && !buffer_.contains(seq)) {
+    if (seq == next_expected_) {
+      ++next_expected_;
+      while (!buffer_.empty() && *buffer_.begin() == next_expected_) {
+        buffer_.erase(buffer_.begin());
+        ++next_expected_;
+      }
+    } else {
+      buffer_.insert(seq);
+      max_buffer_ = std::max(max_buffer_, buffer_.size());
+    }
+  }
+}
+
+double ReorderMonitor::reordered_fraction() const {
+  if (total_ == 0) return 0;
+  return static_cast<double>(reordered_) / static_cast<double>(total_);
+}
+
+double ReorderMonitor::mean_extent() const {
+  if (reordered_ == 0) return 0;
+  return extent_sum_ / static_cast<double>(reordered_);
+}
+
+}  // namespace tcppr::stats

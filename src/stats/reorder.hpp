@@ -1,0 +1,50 @@
+// Reordering metrics in the spirit of RFC 4737 (packet reordering
+// metrics): reordered fraction, reorder extent distribution, and the
+// receiver buffer occupancy needed to restore order. Feed it the arrival
+// stream of sequence numbers (e.g. via Receiver::set_data_tap).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace tcppr::stats {
+
+class ReorderMonitor {
+ public:
+  // Extents >= histogram size land in the last bucket.
+  explicit ReorderMonitor(std::size_t histogram_buckets = 64);
+
+  void on_arrival(net::SeqNo seq);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t reordered() const { return reordered_; }
+  // Fraction of arrivals with seq below an already-seen higher seq.
+  double reordered_fraction() const;
+  // Reorder extent (next-expected distance) of reordered arrivals.
+  net::SeqNo max_extent() const { return max_extent_; }
+  double mean_extent() const;
+  const std::vector<std::uint64_t>& extent_histogram() const {
+    return histogram_;
+  }
+  // Largest number of out-of-order segments an in-order-delivery buffer
+  // had to hold simultaneously.
+  std::size_t max_buffer_occupancy() const { return max_buffer_; }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint64_t reordered_ = 0;
+  net::SeqNo max_seen_ = -1;
+  net::SeqNo max_extent_ = 0;
+  double extent_sum_ = 0;
+  std::vector<std::uint64_t> histogram_;
+
+  // In-order restoration buffer model.
+  net::SeqNo next_expected_ = 0;
+  std::set<net::SeqNo> buffer_;
+  std::size_t max_buffer_ = 0;
+};
+
+}  // namespace tcppr::stats

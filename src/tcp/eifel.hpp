@@ -1,0 +1,28 @@
+// The Eifel algorithm (Ludwig & Katz, CCR 2000): timestamp-based spurious
+// retransmission detection. The receiver echoes the timestamp of the
+// segment that triggered each ACK; if the ACK that covers a retransmitted
+// segment echoes a timestamp older than the retransmission, the original
+// got through and the congestion response is reversed (full restore of
+// cwnd and ssthresh).
+//
+// Related-work extension: Eifel is discussed in Section 2 of the paper but
+// not part of its Figure 6 comparison; it is included here for
+// completeness and used in the ablation benches.
+#pragma once
+
+#include "tcp/sack.hpp"
+
+namespace tcppr::tcp {
+
+class EifelSender final : public SackSender {
+ public:
+  EifelSender(net::Network& network, net::NodeId local, net::NodeId remote,
+              FlowId flow, TcpConfig config = {});
+
+  const char* algorithm() const override { return "eifel"; }
+
+ protected:
+  void on_new_ack_hook(const net::Packet& ack) override;
+};
+
+}  // namespace tcppr::tcp

@@ -1,0 +1,84 @@
+// TCP receiver (sink): cumulative ACKs, SACK (RFC 2018) and DSACK
+// (RFC 2883) generation, optional delayed ACKs, timestamp echo.
+//
+// TCP-PR needs nothing beyond cumulative ACKs — one of its selling points —
+// but the baseline senders and the [Blanton-Allman] mitigations consume the
+// SACK/DSACK options, so one receiver serves every variant.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <set>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/types.hpp"
+
+namespace tcppr::tcp {
+
+struct ReceiverConfig {
+  bool generate_sack = true;
+  bool generate_dsack = true;
+  bool echo_timestamps = true;
+  bool delayed_ack = false;  // ACK every 2nd segment or after 100 ms
+  sim::Duration delack_timeout = sim::Duration::millis(100);
+  std::uint32_t ack_bytes = 40;
+  std::uint32_t segment_bytes = 1000;  // for goodput accounting
+  int max_sack_blocks = 3;
+};
+
+class Receiver final : public net::Agent {
+ public:
+  Receiver(net::Network& network, net::NodeId local, net::NodeId remote,
+           FlowId flow, ReceiverConfig config = {});
+  ~Receiver() override;
+
+  Receiver(const Receiver&) = delete;
+  Receiver& operator=(const Receiver&) = delete;
+
+  void deliver(net::Packet&& pkt) override;
+
+  const ReceiverStats& stats() const { return stats_; }
+  SeqNo rcv_next() const { return rcv_next_; }
+  // Count of segments buffered above the in-order point.
+  std::size_t ooo_buffered() const { return above_.size(); }
+
+  // Test hook: observe every ACK as it is emitted.
+  void set_ack_tap(std::function<void(const net::Packet&)> tap) {
+    ack_tap_ = std::move(tap);
+  }
+  // Observe every arriving data segment (reorder metrics, traces).
+  void set_data_tap(std::function<void(const net::Packet&)> tap) {
+    data_tap_ = std::move(tap);
+  }
+
+ private:
+  void on_data(const net::Packet& pkt);
+  void send_ack(const net::Packet& cause, bool force_dup_info);
+  void emit_ack(net::Packet&& ack);
+  void record_sack_block(SeqNo begin, SeqNo end);
+
+  net::Network& network_;
+  net::NodeId local_;
+  net::NodeId remote_;
+  FlowId flow_;
+  ReceiverConfig config_;
+
+  SeqNo rcv_next_ = 0;
+  std::set<SeqNo> above_;  // received segments > rcv_next_
+  // Recency-ordered SACK blocks (most recently updated first, RFC 2018).
+  std::list<net::SackBlock> sack_blocks_;
+
+  // Delayed-ACK state.
+  sim::Timer delack_timer_;
+  int unacked_segments_ = 0;
+  net::Packet pending_cause_;
+  bool has_pending_cause_ = false;
+
+  ReceiverStats stats_;
+  std::function<void(const net::Packet&)> ack_tap_;
+  std::function<void(const net::Packet&)> data_tap_;
+};
+
+}  // namespace tcppr::tcp

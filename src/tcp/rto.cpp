@@ -1,0 +1,35 @@
+#include "tcp/rto.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace tcppr::tcp {
+
+void RtoEstimator::add_sample(sim::Duration rtt) {
+  TCPPR_CHECK(rtt >= sim::Duration::zero());
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2.0;
+    has_sample_ = true;
+    return;
+  }
+  const sim::Duration err =
+      rtt > srtt_ ? (rtt - srtt_) : (srtt_ - rtt);  // |srtt - sample|
+  rttvar_ = rttvar_ * (3.0 / 4.0) + err * (1.0 / 4.0);
+  srtt_ = srtt_ * (7.0 / 8.0) + rtt * (1.0 / 8.0);
+}
+
+void RtoEstimator::back_off() { backoff_ = std::min(backoff_ * 2, 1 << 16); }
+
+sim::Duration RtoEstimator::rto() const {
+  sim::Duration base = params_.initial;
+  if (has_sample_) {
+    base = srtt_ + 4.0 * rttvar_;
+    base = std::max(base, params_.min);
+  }
+  base = base * static_cast<double>(backoff_);
+  return std::min(base, params_.max);
+}
+
+}  // namespace tcppr::tcp

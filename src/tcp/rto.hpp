@@ -1,0 +1,41 @@
+// Retransmission timeout estimation per RFC 2988 (Jacobson/Karels SRTT and
+// RTTVAR, exponential backoff on timeout). Karn's rule — never sample a
+// retransmitted segment — is the caller's responsibility.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace tcppr::tcp {
+
+class RtoEstimator {
+ public:
+  struct Params {
+    sim::Duration initial = sim::Duration::seconds(3.0);
+    sim::Duration min = sim::Duration::seconds(1.0);
+    sim::Duration max = sim::Duration::seconds(64.0);
+  };
+
+  explicit RtoEstimator(Params params) : params_(params) {}
+  RtoEstimator() : RtoEstimator(Params{}) {}
+
+  void add_sample(sim::Duration rtt);
+  // Doubles the backoff multiplier (called on timeout).
+  void back_off();
+  // Collapses the backoff (called when new data is acknowledged).
+  void reset_backoff() { backoff_ = 1; }
+
+  sim::Duration rto() const;
+  bool has_sample() const { return has_sample_; }
+  sim::Duration srtt() const { return srtt_; }
+  sim::Duration rttvar() const { return rttvar_; }
+  int backoff_multiplier() const { return backoff_; }
+
+ private:
+  Params params_;
+  bool has_sample_ = false;
+  sim::Duration srtt_ = sim::Duration::zero();
+  sim::Duration rttvar_ = sim::Duration::zero();
+  int backoff_ = 1;
+};
+
+}  // namespace tcppr::tcp

@@ -1,0 +1,114 @@
+// Common machinery for every TCP sender variant: node attachment, segment
+// construction, application data source, completion, statistics, and the
+// cwnd trace hook. Loss detection and window management live in the
+// variants (tcp/reno.hpp, tcp/sack.hpp, core/tcp_pr.hpp, ...).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/types.hpp"
+
+namespace tcppr::tcp {
+
+// What the sender has to transmit. Bulk sources never run dry (FTP model
+// used throughout the paper); fixed sources end after N segments.
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+  // True when segment `seq` exists to be sent.
+  virtual bool has_segment(SeqNo seq) const = 0;
+  // Total segments, or -1 for unbounded.
+  virtual SeqNo total_segments() const = 0;
+};
+
+class BulkDataSource final : public DataSource {
+ public:
+  bool has_segment(SeqNo) const override { return true; }
+  SeqNo total_segments() const override { return -1; }
+};
+
+class FixedDataSource final : public DataSource {
+ public:
+  explicit FixedDataSource(SeqNo segments) : segments_(segments) {}
+  bool has_segment(SeqNo seq) const override { return seq < segments_; }
+  SeqNo total_segments() const override { return segments_; }
+
+ private:
+  SeqNo segments_;
+};
+
+class SenderBase : public net::Agent {
+ public:
+  SenderBase(net::Network& network, net::NodeId local, net::NodeId remote,
+             FlowId flow, TcpConfig config);
+  ~SenderBase() override;
+
+  SenderBase(const SenderBase&) = delete;
+  SenderBase& operator=(const SenderBase&) = delete;
+
+  // Begins transmission (first window) immediately.
+  void start();
+  bool started() const { return started_; }
+
+  // Default source is bulk; call before start().
+  void set_data_source(std::unique_ptr<DataSource> source);
+  // Invoked once when a fixed-size transfer is fully acknowledged.
+  void set_completion_callback(std::function<void()> cb) {
+    completion_cb_ = std::move(cb);
+  }
+  bool complete() const { return complete_; }
+
+  // Observe (time, cwnd) after every change; for traces and examples.
+  void set_cwnd_listener(std::function<void(sim::TimePoint, double)> fn) {
+    cwnd_listener_ = std::move(fn);
+  }
+
+  void deliver(net::Packet&& pkt) final;
+
+  const SenderStats& stats() const { return stats_; }
+  const TcpConfig& config() const { return config_; }
+  FlowId flow() const { return flow_; }
+  virtual double cwnd() const = 0;
+  // Name of the variant, for experiment tables.
+  virtual const char* algorithm() const = 0;
+
+ protected:
+  virtual void on_start() = 0;
+  virtual void on_ack_packet(const net::Packet& ack) = 0;
+
+  // Builds and transmits one data segment. tx_serial distinguishes
+  // (re)transmissions of the same seq.
+  void transmit_segment(SeqNo seq, bool is_retransmission,
+                        std::uint32_t tx_serial);
+
+  bool source_has(SeqNo seq) const { return source_->has_segment(seq); }
+  SeqNo source_total() const { return source_->total_segments(); }
+  // Called by variants whenever the cumulative ACK point advances; handles
+  // stats and completion detection.
+  void note_progress(SeqNo cum_ack);
+  void notify_cwnd(double cwnd);
+
+  sim::Scheduler& sched() { return network_.scheduler(); }
+  sim::TimePoint now() const { return network_.scheduler().now(); }
+  net::Network& network() { return network_; }
+
+  TcpConfig config_;
+  SenderStats stats_;
+
+ private:
+  net::Network& network_;
+  net::NodeId local_;
+  net::NodeId remote_;
+  FlowId flow_;
+  std::unique_ptr<DataSource> source_;
+  std::function<void()> completion_cb_;
+  std::function<void(sim::TimePoint, double)> cwnd_listener_;
+  bool started_ = false;
+  bool complete_ = false;
+};
+
+}  // namespace tcppr::tcp

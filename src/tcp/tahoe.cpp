@@ -1,0 +1,29 @@
+#include "tcp/tahoe.hpp"
+
+#include <algorithm>
+
+namespace tcppr::tcp {
+
+void TahoeSender::enter_fast_recovery() {
+  // One reaction per window (ns-2 Tahoe's recover_ guard): dupack runs for
+  // holes already being repaired must not re-trigger the cut.
+  if (snd_una_ < recover_) {
+    dupacks_ = 0;
+    return;
+  }
+  recover_ = snd_nxt_;
+  // Retransmit the hole, then slow-start from one segment: no inflation,
+  // no recovery state.
+  ++stats_.fast_retransmits;
+  ++stats_.cwnd_halvings;
+  ssthresh_ = std::max(static_cast<double>(flight_size()) / 2.0, 2.0);
+  cwnd_ = 1;
+  inflation_ = 0;
+  dupacks_ = 0;
+  in_recovery_ = false;
+  retransmit(snd_una_);
+  restart_rto_timer();
+  notify_cwnd(cwnd_);
+}
+
+}  // namespace tcppr::tcp

@@ -1,0 +1,19 @@
+// TCP Tahoe: fast retransmit but no fast recovery — every detected loss
+// sends the sender back to slow start from cwnd = 1 (Jacobson 88).
+// Era-appropriate floor baseline for the comparison suite.
+#pragma once
+
+#include "tcp/reno.hpp"
+
+namespace tcppr::tcp {
+
+class TahoeSender final : public RenoSender {
+ public:
+  using RenoSender::RenoSender;
+  const char* algorithm() const override { return "tahoe"; }
+
+ protected:
+  void enter_fast_recovery() override;
+};
+
+}  // namespace tcppr::tcp

@@ -1,0 +1,51 @@
+// Shared TCP configuration and statistics types.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace tcppr::tcp {
+
+using net::FlowId;
+using net::SeqNo;
+
+struct TcpConfig {
+  std::uint32_t segment_bytes = 1000;  // payload per segment
+  std::uint32_t header_bytes = 40;
+  std::uint32_t ack_bytes = 40;
+  double initial_cwnd = 1.0;    // packets
+  double max_cwnd = 1.0e7;      // packets (stand-in for receiver window)
+  int dupthresh = 3;            // initial duplicate-ACK threshold
+  bool limited_transmit = false;  // RFC 3042, used by the [3] variants
+  sim::Duration initial_rto = sim::Duration::seconds(3.0);
+  sim::Duration min_rto = sim::Duration::seconds(1.0);  // RFC 2988
+  sim::Duration max_rto = sim::Duration::seconds(64.0);
+};
+
+struct SenderStats {
+  std::uint64_t data_packets_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t dupacks_received = 0;
+  std::uint64_t spurious_retransmits_detected = 0;
+  std::uint64_t cwnd_halvings = 0;
+  std::uint64_t extreme_loss_events = 0;  // TCP-PR §3.2 resets
+  SeqNo segments_acked = 0;               // == cumulative ACK point
+  std::uint64_t bytes_newly_acked = 0;    // new data only (no rtx credit)
+};
+
+struct ReceiverStats {
+  std::uint64_t data_packets_received = 0;
+  std::uint64_t duplicates = 0;       // already-received segments
+  std::uint64_t out_of_order = 0;     // arrivals above the expected seq
+  std::uint64_t acks_sent = 0;
+  SeqNo in_order_point = 0;           // next expected segment
+  std::uint64_t goodput_bytes = 0;    // in-order delivered payload
+  SeqNo max_reorder_extent = 0;       // max (arrived seq - expected seq)
+};
+
+}  // namespace tcppr::tcp

@@ -1,0 +1,112 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace tcppr::trace {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kOriginate:
+      return "originate";
+    case EventType::kEnqueue:
+      return "enqueue";
+    case EventType::kDequeue:
+      return "dequeue";
+    case EventType::kQueueDrop:
+      return "queue-drop";
+    case EventType::kLossDrop:
+      return "loss-drop";
+    case EventType::kDeliver:
+      return "deliver";
+  }
+  return "?";
+}
+
+namespace {
+
+char op_char(EventType type) {
+  switch (type) {
+    case EventType::kOriginate:
+      return 'o';
+    case EventType::kEnqueue:
+      return '+';
+    case EventType::kDequeue:
+      return '-';
+    case EventType::kQueueDrop:
+      return 'd';
+    case EventType::kLossDrop:
+      return 'l';
+    case EventType::kDeliver:
+      return 'r';
+  }
+  return '?';
+}
+
+}  // namespace
+
+void Tracer::add_sink(TraceSink* sink) {
+  TCPPR_CHECK(sink != nullptr);
+  sinks_.push_back(sink);
+}
+
+void Tracer::emit(sim::TimePoint time, EventType type, const net::Packet& pkt,
+                  net::NodeId from, net::NodeId to) {
+  if (sinks_.empty()) return;
+  Record record;
+  record.time = time;
+  record.type = type;
+  record.from = from;
+  record.to = to;
+  record.uid = pkt.uid;
+  record.flow = pkt.tcp.flow;
+  record.seq = pkt.is_ack() ? pkt.tcp.ack : pkt.tcp.seq;
+  record.is_ack = pkt.is_ack();
+  record.size_bytes = pkt.size_bytes;
+  for (TraceSink* sink : sinks_) sink->record(record);
+}
+
+std::size_t MemoryTrace::count(EventType type) const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [&](const Record& r) { return r.type == type; }));
+}
+
+std::size_t MemoryTrace::count(EventType type, net::FlowId flow) const {
+  return static_cast<std::size_t>(std::count_if(
+      records_.begin(), records_.end(), [&](const Record& r) {
+        return r.type == type && r.flow == flow;
+      }));
+}
+
+std::vector<Record> MemoryTrace::select(
+    const std::function<bool(const Record&)>& pred) const {
+  std::vector<Record> out;
+  std::copy_if(records_.begin(), records_.end(), std::back_inserter(out),
+               pred);
+  return out;
+}
+
+FileTrace::FileTrace(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+}
+
+FileTrace::~FileTrace() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileTrace::record(const Record& record) {
+  if (file_ == nullptr) return;
+  std::fprintf(file_, "%c %.9f %d %d %s %u %d %lld %llu\n",
+               op_char(record.type), record.time.as_seconds(), record.from,
+               record.to, record.is_ack ? "ack" : "tcp", record.size_bytes,
+               record.flow, static_cast<long long>(record.seq),
+               static_cast<unsigned long long>(record.uid));
+}
+
+void FileTrace::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+}  // namespace tcppr::trace

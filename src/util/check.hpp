@@ -1,0 +1,33 @@
+// Lightweight invariant checking used throughout the library.
+//
+// TCPPR_CHECK is always on (simulation correctness beats the tiny cost);
+// TCPPR_DCHECK compiles away in release builds without assertions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tcppr::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "TCPPR_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace tcppr::detail
+
+#define TCPPR_CHECK(expr)                                    \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::tcppr::detail::check_failed(#expr, __FILE__, __LINE__); \
+    }                                                        \
+  } while (false)
+
+#ifdef NDEBUG
+#define TCPPR_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define TCPPR_DCHECK(expr) TCPPR_CHECK(expr)
+#endif

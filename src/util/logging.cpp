@@ -1,0 +1,51 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace tcppr {
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+double g_sim_time = 0.0;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kOff:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logger::set_level(LogLevel level) { g_level = level; }
+LogLevel Logger::level() { return g_level; }
+void Logger::set_sim_time_seconds(double t) { g_sim_time = t; }
+
+bool Logger::enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(g_level);
+}
+
+void Logger::logf(LogLevel level, const char* component, const char* fmt,
+                  ...) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "[%10.6f] %-5s %-10s ", g_sim_time, level_name(level),
+               component);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace tcppr

@@ -1,0 +1,40 @@
+// Minimal leveled logging with simulation-time prefixes.
+//
+// Off by default (simulations are hot loops); enable per-run via
+// Logger::set_level. Printf-style because the hot path must not allocate
+// when the level is filtered out.
+#pragma once
+
+#include <cstdarg>
+
+namespace tcppr {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+class Logger {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  // Simulation time shown in log prefixes; harness updates it.
+  static void set_sim_time_seconds(double t);
+
+  static bool enabled(LogLevel level);
+  static void logf(LogLevel level, const char* component, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+};
+
+}  // namespace tcppr
+
+#define TCPPR_LOG(level, component, ...)                         \
+  do {                                                           \
+    if (::tcppr::Logger::enabled(level)) {                       \
+      ::tcppr::Logger::logf(level, component, __VA_ARGS__);      \
+    }                                                            \
+  } while (false)
+
+#define TCPPR_LOG_DEBUG(component, ...) \
+  TCPPR_LOG(::tcppr::LogLevel::kDebug, component, __VA_ARGS__)
+#define TCPPR_LOG_INFO(component, ...) \
+  TCPPR_LOG(::tcppr::LogLevel::kInfo, component, __VA_ARGS__)
+#define TCPPR_LOG_WARN(component, ...) \
+  TCPPR_LOG(::tcppr::LogLevel::kWarn, component, __VA_ARGS__)

@@ -1,0 +1,175 @@
+// Tests for the pending-event set backends: calendar queue correctness,
+// randomized equivalence against the binary heap, and backend-independent
+// simulation results.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/tcp_pr.hpp"
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/receiver.hpp"
+#include "tcp/sack.hpp"
+
+namespace tcppr::sim {
+namespace {
+
+QueuedEvent ev(double seconds, std::uint64_t seq) {
+  return QueuedEvent{TimePoint::from_seconds(seconds), seq, seq + 1};
+}
+
+TEST(CalendarQueue, PopsInTimeOrder) {
+  CalendarQueue q;
+  q.push(ev(3.0, 1));
+  q.push(ev(1.0, 2));
+  q.push(ev(2.0, 3));
+  EXPECT_EQ(q.pop_min()->seq, 2u);
+  EXPECT_EQ(q.pop_min()->seq, 3u);
+  EXPECT_EQ(q.pop_min()->seq, 1u);
+  EXPECT_FALSE(q.pop_min().has_value());
+}
+
+TEST(CalendarQueue, TiesBreakByInsertionSeq) {
+  CalendarQueue q;
+  for (std::uint64_t i = 10; i > 0; --i) q.push(ev(1.0, i));
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    EXPECT_EQ(q.pop_min()->seq, i);
+  }
+}
+
+TEST(CalendarQueue, HandlesSparseHorizons) {
+  CalendarQueue q;
+  q.push(ev(0.001, 1));
+  q.push(ev(1000.0, 2));  // far beyond one "year" of buckets
+  q.push(ev(0.002, 3));
+  EXPECT_EQ(q.pop_min()->seq, 1u);
+  EXPECT_EQ(q.pop_min()->seq, 3u);
+  EXPECT_EQ(q.pop_min()->seq, 2u);
+}
+
+TEST(CalendarQueue, GrowsAndShrinksWithLoad) {
+  CalendarQueue q;
+  const std::size_t initial = q.bucket_count();
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    q.push(ev(0.001 * static_cast<double>(i % 997), i));
+  }
+  EXPECT_GT(q.bucket_count(), initial);
+  double last = -1;
+  for (int i = 0; i < 10000; ++i) {
+    const auto e = q.pop_min();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_GE(e->time.as_seconds(), last);
+    last = e->time.as_seconds();
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(CalendarQueue, RandomizedEquivalenceWithBinaryHeap) {
+  // Interleaved pushes and pops with random times: both backends must
+  // produce the identical pop sequence.
+  Rng rng(12345);
+  for (int round = 0; round < 5; ++round) {
+    BinaryHeapQueue heap;
+    CalendarQueue calendar;
+    std::uint64_t seq = 0;
+    double clock = 0;
+    for (int op = 0; op < 4000; ++op) {
+      const bool push = heap.empty() || rng.uniform() < 0.55;
+      if (push) {
+        // Mix of near-future, clustered and far-future times.
+        double t = clock;
+        const double u = rng.uniform();
+        if (u < 0.6) {
+          t += rng.uniform(0.0, 0.01);
+        } else if (u < 0.9) {
+          t += rng.uniform(0.0, 1.0);
+        } else {
+          t += rng.uniform(0.0, 300.0);
+        }
+        const QueuedEvent e{TimePoint::from_seconds(t), seq, seq + 1};
+        ++seq;
+        heap.push(e);
+        calendar.push(e);
+      } else {
+        const auto a = heap.pop_min();
+        const auto b = calendar.pop_min();
+        ASSERT_TRUE(a.has_value());
+        ASSERT_TRUE(b.has_value());
+        ASSERT_EQ(a->seq, b->seq) << "round " << round << " op " << op;
+        ASSERT_EQ(a->time.as_nanos(), b->time.as_nanos());
+        clock = a->time.as_seconds();  // times only move forward
+      }
+      ASSERT_EQ(heap.size(), calendar.size());
+    }
+    // Drain both.
+    for (;;) {
+      const auto a = heap.pop_min();
+      const auto b = calendar.pop_min();
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (!a.has_value()) break;
+      ASSERT_EQ(a->seq, b->seq);
+    }
+  }
+}
+
+TEST(SchedulerBackend, CalendarRunsEventsInOrder) {
+  Scheduler sched(SchedulerBackend::kCalendarQueue);
+  std::vector<int> order;
+  sched.schedule_at(TimePoint::from_seconds(3), [&] { order.push_back(3); });
+  sched.schedule_at(TimePoint::from_seconds(1), [&] { order.push_back(1); });
+  sched.schedule_at(TimePoint::from_seconds(2), [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerBackend, CancellationWorksOnCalendar) {
+  Scheduler sched(SchedulerBackend::kCalendarQueue);
+  bool ran = false;
+  const EventId id =
+      sched.schedule_at(TimePoint::from_seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(sched.cancel(id));
+  sched.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerBackend, FullSimulationIdenticalAcrossBackends) {
+  // The strongest equivalence check: a complete TCP simulation produces
+  // bit-identical results regardless of the pending-event structure.
+  // (The harness builds its own scheduler, so replicate a small scenario
+  // manually on each backend.)
+  const auto run = [](SchedulerBackend backend) {
+    Scheduler sched(backend);
+    net::Network network(sched);
+    const auto a = network.add_node();
+    const auto r = network.add_node();
+    const auto b = network.add_node();
+    net::LinkConfig access;
+    access.bandwidth_bps = 1e8;
+    network.add_duplex_link(a, r, access);
+    net::LinkConfig bottleneck;
+    bottleneck.bandwidth_bps = 5e6;
+    bottleneck.delay = sim::Duration::millis(15);
+    bottleneck.queue_limit_packets = 40;
+    network.add_duplex_link(r, b, bottleneck);
+    network.compute_static_routes();
+    tcp::Receiver recv(network, b, a, 1);
+    core::TcpPrSender pr(network, a, b, 1);
+    tcp::Receiver recv2(network, b, a, 2);
+    tcp::SackSender sack(network, a, b, 2);
+    pr.start();
+    sack.start();
+    sched.run_until(TimePoint::from_seconds(30));
+    return std::make_tuple(sched.processed_count(),
+                           pr.stats().segments_acked,
+                           sack.stats().segments_acked,
+                           pr.stats().retransmissions,
+                           sack.stats().retransmissions);
+  };
+  EXPECT_EQ(run(SchedulerBackend::kBinaryHeap),
+            run(SchedulerBackend::kCalendarQueue));
+}
+
+}  // namespace
+}  // namespace tcppr::sim

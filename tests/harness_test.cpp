@@ -1,0 +1,214 @@
+// Tests for the scenario builders and the experiment runner: topology
+// wiring, variant naming, measurement-window arithmetic, and the summary
+// metrics the figures are built from.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "harness/experiment.hpp"
+#include "harness/scenarios.hpp"
+
+namespace tcppr::harness {
+namespace {
+
+TEST(VariantNames, RoundTrip) {
+  for (const TcpVariant v :
+       {TcpVariant::kTcpPr, TcpVariant::kSack, TcpVariant::kReno,
+        TcpVariant::kNewReno, TcpVariant::kTdFr, TcpVariant::kDsackNm,
+        TcpVariant::kIncByOne, TcpVariant::kIncByN, TcpVariant::kEwma,
+        TcpVariant::kEifel}) {
+    EXPECT_GT(std::strlen(to_string(v)), 0u);
+  }
+}
+
+TEST(MakeSender, AlgorithmNameMatchesVariant) {
+  sim::Scheduler sched;
+  net::Network network(sched);
+  const auto a = network.add_node();
+  const auto b = network.add_node();
+  network.add_duplex_link(a, b, {});
+  network.compute_static_routes();
+  const auto check = [&](TcpVariant v, const char* name, net::FlowId flow) {
+    const auto sender =
+        make_sender(v, network, a, b, flow, tcp::TcpConfig{}, core::TcpPrConfig{});
+    EXPECT_STREQ(sender->algorithm(), name);
+  };
+  check(TcpVariant::kTcpPr, "tcp-pr", 1);
+  check(TcpVariant::kSack, "sack", 2);
+  check(TcpVariant::kReno, "reno", 3);
+  check(TcpVariant::kNewReno, "newreno", 4);
+  check(TcpVariant::kTdFr, "td-fr", 5);
+  check(TcpVariant::kDsackNm, "dsack-nm", 6);
+  check(TcpVariant::kIncByOne, "inc-by-1", 7);
+  check(TcpVariant::kIncByN, "inc-by-n", 8);
+  check(TcpVariant::kEwma, "ewma", 9);
+  check(TcpVariant::kEifel, "eifel", 10);
+}
+
+TEST(Dumbbell, BuildsRequestedFlows) {
+  DumbbellConfig config;
+  config.pr_flows = 3;
+  config.sack_flows = 2;
+  auto scenario = make_dumbbell(config);
+  EXPECT_EQ(scenario->senders.size(), 5u);
+  EXPECT_EQ(scenario->receivers.size(), 5u);
+  int pr = 0;
+  for (const TcpVariant v : scenario->variants) {
+    if (v == TcpVariant::kTcpPr) ++pr;
+  }
+  EXPECT_EQ(pr, 3);
+  ASSERT_EQ(scenario->bottlenecks.size(), 1u);
+}
+
+TEST(Dumbbell, FlowsActuallyTransferData) {
+  DumbbellConfig config;
+  config.pr_flows = 1;
+  config.sack_flows = 1;
+  auto scenario = make_dumbbell(config);
+  scenario->sched.run_until(sim::TimePoint::from_seconds(10));
+  for (const auto& sender : scenario->senders) {
+    EXPECT_GT(sender->stats().segments_acked, 100);
+  }
+}
+
+TEST(ParkingLot, BuildsCrossTraffic) {
+  ParkingLotConfig config;
+  config.pr_flows = 1;
+  config.sack_flows = 1;
+  auto scenario = make_parking_lot(config);
+  EXPECT_EQ(scenario->senders.size(), 2u);
+  EXPECT_EQ(scenario->cross_senders.size(), 6u);
+  EXPECT_EQ(scenario->bottlenecks.size(), 3u);
+}
+
+TEST(ParkingLot, CrossTrafficMovesThroughChain) {
+  ParkingLotConfig config;
+  config.pr_flows = 1;
+  config.sack_flows = 0;
+  auto scenario = make_parking_lot(config);
+  scenario->sched.run_until(sim::TimePoint::from_seconds(15));
+  for (const auto& cross : scenario->cross_senders) {
+    EXPECT_GT(cross->stats().segments_acked, 50);
+  }
+  // Main flow competes with cross traffic but still progresses.
+  EXPECT_GT(scenario->senders[0]->stats().segments_acked, 500);
+}
+
+TEST(ParkingLot, NoCrossTrafficOption) {
+  ParkingLotConfig config;
+  config.with_cross_traffic = false;
+  auto scenario = make_parking_lot(config);
+  EXPECT_TRUE(scenario->cross_senders.empty());
+}
+
+TEST(Multipath, PathCountMatchesConfig) {
+  MultipathConfig config;
+  config.path_count = 3;
+  auto scenario = make_multipath(config);
+  // Nodes: src + dst + 1+2+3 relays = 8.
+  EXPECT_EQ(scenario->network.node_count(), 8);
+  EXPECT_EQ(scenario->senders.size(), 1u);
+}
+
+TEST(Multipath, Epsilon500UsesShortestPathOnly) {
+  MultipathConfig config;
+  config.epsilon = 500;
+  auto scenario = make_multipath(config);
+  scenario->sched.run_until(sim::TimePoint::from_seconds(5));
+  auto* policy = dynamic_cast<routing::MultipathSelector*>(
+      scenario->policies[0].get());
+  ASSERT_NE(policy, nullptr);
+  const auto& picks = policy->picks();
+  for (std::size_t i = 1; i < picks.size(); ++i) {
+    EXPECT_EQ(picks[i], 0u) << "path " << i;
+  }
+  EXPECT_GT(picks[0], 100u);
+}
+
+TEST(Multipath, EpsilonZeroSpreadsAcrossAllPaths) {
+  MultipathConfig config;
+  config.epsilon = 0;
+  auto scenario = make_multipath(config);
+  scenario->sched.run_until(sim::TimePoint::from_seconds(10));
+  auto* policy = dynamic_cast<routing::MultipathSelector*>(
+      scenario->policies[0].get());
+  const auto& picks = policy->picks();
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    EXPECT_GT(picks[i], 100u) << "path " << i;
+  }
+}
+
+TEST(RunScenario, MeasuresTrailingWindowOnly) {
+  DumbbellConfig config;
+  config.pr_flows = 1;
+  config.sack_flows = 1;
+  auto scenario = make_dumbbell(config);
+  MeasurementWindow window;
+  window.total = sim::Duration::seconds(20);
+  window.measured = sim::Duration::seconds(10);
+  const RunResult result = run_scenario(*scenario, window);
+  EXPECT_EQ(result.flows.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.measure_seconds, 10.0);
+  for (const auto& flow : result.flows) {
+    EXPECT_GT(flow.throughput_bps, 0.0);
+    // Two flows on a 15 Mbps bottleneck: each well below the capacity.
+    EXPECT_LT(flow.throughput_bps, 15e6);
+  }
+  EXPECT_GT(result.events, 1000u);
+}
+
+TEST(RunScenario, NormalizedMetricsConsistent) {
+  DumbbellConfig config;
+  config.pr_flows = 2;
+  config.sack_flows = 2;
+  auto scenario = make_dumbbell(config);
+  MeasurementWindow window;
+  window.total = sim::Duration::seconds(30);
+  window.measured = sim::Duration::seconds(15);
+  const RunResult result = run_scenario(*scenario, window);
+  const double pr = result.mean_normalized(TcpVariant::kTcpPr);
+  const double sack = result.mean_normalized(TcpVariant::kSack);
+  // Weighted mean of the two protocol means is exactly 1.
+  EXPECT_NEAR((pr * 2 + sack * 2) / 4.0, 1.0, 1e-9);
+  EXPECT_EQ(result.count(TcpVariant::kTcpPr), 2);
+  EXPECT_EQ(result.count(TcpVariant::kSack), 2);
+  EXPECT_GE(result.cov(TcpVariant::kTcpPr), 0.0);
+}
+
+TEST(RunMultipathCell, ReturnsPopulatedCell) {
+  MultipathConfig config;
+  config.variant = TcpVariant::kTcpPr;
+  config.epsilon = 0;
+  MeasurementWindow window;
+  window.total = sim::Duration::seconds(15);
+  window.measured = sim::Duration::seconds(10);
+  const MultipathCell cell = run_multipath_cell(config, window);
+  EXPECT_EQ(cell.variant, TcpVariant::kTcpPr);
+  // With 4 paths of 10 Mbps each under uniform spraying, goodput must
+  // exceed what any single path could carry.
+  EXPECT_GT(cell.goodput_bps, 11e6);
+}
+
+TEST(Dumbbell, SameSeedReproducesExactly) {
+  const auto run = [] {
+    DumbbellConfig config;
+    config.pr_flows = 2;
+    config.sack_flows = 2;
+    config.seed = 77;
+    auto scenario = make_dumbbell(config);
+    MeasurementWindow window;
+    window.total = sim::Duration::seconds(15);
+    window.measured = sim::Duration::seconds(5);
+    return run_scenario(*scenario, window);
+  };
+  const RunResult a = run();
+  const RunResult b = run();
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].throughput_bps, b.flows[i].throughput_bps);
+  }
+  EXPECT_EQ(a.events, b.events);
+}
+
+}  // namespace
+}  // namespace tcppr::harness

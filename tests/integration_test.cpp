@@ -1,0 +1,207 @@
+// Cross-module integration tests: end-to-end reproductions (scaled down)
+// of the paper's qualitative claims, exercised through the public API the
+// way the benches do.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/experiment.hpp"
+#include "harness/scenarios.hpp"
+#include "test_util.hpp"
+
+namespace tcppr {
+namespace {
+
+using harness::DumbbellConfig;
+using harness::MeasurementWindow;
+using harness::MultipathConfig;
+using harness::ParkingLotConfig;
+using harness::RunResult;
+using harness::TcpVariant;
+
+MeasurementWindow short_window(double total, double measured) {
+  MeasurementWindow w;
+  w.total = sim::Duration::seconds(total);
+  w.measured = sim::Duration::seconds(measured);
+  return w;
+}
+
+TEST(Integration, DumbbellFairnessPrVsSack) {
+  // Scaled-down Figure 2: equal numbers of PR and SACK flows must end up
+  // with mean normalized throughput near 1 for both protocols.
+  DumbbellConfig config;
+  config.pr_flows = 4;
+  config.sack_flows = 4;
+  config.seed = 3;
+  auto scenario = harness::make_dumbbell(config);
+  const RunResult result = run_scenario(*scenario, short_window(60, 30));
+  EXPECT_NEAR(result.mean_normalized(TcpVariant::kTcpPr), 1.0, 0.35);
+  EXPECT_NEAR(result.mean_normalized(TcpVariant::kSack), 1.0, 0.35);
+  EXPECT_GT(result.loss_rate, 0.0);  // the bottleneck was actually loaded
+}
+
+TEST(Integration, DumbbellBandwidthFullyUtilized) {
+  DumbbellConfig config;
+  config.pr_flows = 2;
+  config.sack_flows = 2;
+  auto scenario = harness::make_dumbbell(config);
+  const RunResult result = run_scenario(*scenario, short_window(40, 20));
+  double total = 0;
+  for (const auto& flow : result.flows) total += flow.throughput_bps;
+  EXPECT_GT(total, 0.85 * config.bottleneck_bw_bps);
+  EXPECT_LT(total, 1.05 * config.bottleneck_bw_bps);
+}
+
+TEST(Integration, PrOnlyDumbbellSharesEqually) {
+  DumbbellConfig config;
+  config.pr_flows = 4;
+  config.sack_flows = 0;
+  auto scenario = harness::make_dumbbell(config);
+  const RunResult result = run_scenario(*scenario, short_window(60, 30));
+  EXPECT_LT(result.cov(TcpVariant::kTcpPr), 0.5);
+}
+
+TEST(Integration, ParkingLotFairness) {
+  ParkingLotConfig config;
+  config.pr_flows = 2;
+  config.sack_flows = 2;
+  config.seed = 11;
+  auto scenario = harness::make_parking_lot(config);
+  const RunResult result = run_scenario(*scenario, short_window(60, 30));
+  EXPECT_NEAR(result.mean_normalized(TcpVariant::kTcpPr), 1.0, 0.45);
+  EXPECT_NEAR(result.mean_normalized(TcpVariant::kSack), 1.0, 0.45);
+}
+
+TEST(Integration, MultipathOrderingFigure6Shape) {
+  // The qualitative Figure 6 ordering at epsilon=0, 10 ms links:
+  // TCP-PR clearly on top; the mitigations clearly above plain SACK.
+  const auto cell = [](TcpVariant v) {
+    MultipathConfig config;
+    config.variant = v;
+    config.epsilon = 0;
+    return run_multipath_cell(config, MeasurementWindow{
+        sim::Duration::seconds(30), sim::Duration::seconds(20)});
+  };
+  const double pr = cell(TcpVariant::kTcpPr).goodput_bps;
+  const double sack = cell(TcpVariant::kSack).goodput_bps;
+  const double incn = cell(TcpVariant::kIncByN).goodput_bps;
+  EXPECT_GT(pr, 2.0 * sack);
+  EXPECT_GT(pr, incn);
+  EXPECT_GT(incn, sack);
+}
+
+TEST(Integration, MultipathEpsilon500AllEquivalent) {
+  // Single-path routing: every variant reaches the same single-link rate.
+  std::vector<double> rates;
+  for (const TcpVariant v : {TcpVariant::kTcpPr, TcpVariant::kSack,
+                             TcpVariant::kTdFr, TcpVariant::kIncByN}) {
+    MultipathConfig config;
+    config.variant = v;
+    config.epsilon = 500;
+    // Long enough that slow-start transients do not dominate the window.
+    const auto cell = run_multipath_cell(
+        config, MeasurementWindow{sim::Duration::seconds(60),
+                                  sim::Duration::seconds(30)});
+    rates.push_back(cell.goodput_bps);
+  }
+  for (const double r : rates) {
+    EXPECT_NEAR(r / rates[0], 1.0, 0.15);
+  }
+  // And each saturates most of the 10 Mbps path.
+  EXPECT_GT(rates[0], 8e6);
+}
+
+TEST(Integration, TdFrDegradesWithLongerDelay) {
+  // Figure 6's right plot: TD-FR's usefulness collapses at 60 ms link
+  // delays while TCP-PR holds up. Measured at eps=4 (mild multi-path),
+  // where TD-FR is at its best, and eps=0 for the TCP-PR comparison.
+  const auto goodput = [](TcpVariant v, double eps, double delay_ms) {
+    MultipathConfig config;
+    config.variant = v;
+    config.epsilon = eps;
+    config.link_delay = sim::Duration::millis(delay_ms);
+    // The 60 ms mesh has a huge aggregate BDP; measure after convergence.
+    return run_multipath_cell(
+               config, MeasurementWindow{sim::Duration::seconds(120),
+                                         sim::Duration::seconds(40)})
+        .goodput_bps;
+  };
+  const double tdfr_10 = goodput(TcpVariant::kTdFr, 4, 10);
+  const double tdfr_60 = goodput(TcpVariant::kTdFr, 4, 60);
+  EXPECT_LT(tdfr_60, 0.5 * tdfr_10);  // latency guts TD-FR
+  const double tdfr_60_full = goodput(TcpVariant::kTdFr, 0, 60);
+  const double pr_60_full = goodput(TcpVariant::kTcpPr, 0, 60);
+  EXPECT_GT(pr_60_full, 2.0 * tdfr_60_full);  // and PR keeps a clear lead
+}
+
+TEST(Integration, RouteFlapReordering) {
+  // Extension scenario: route flapping between two unequal paths; TCP-PR
+  // must beat plain SACK.
+  const auto goodput = [](TcpVariant variant) {
+    auto scenario = std::make_unique<harness::Scenario>();
+    net::Network& nw = scenario->network;
+    const auto src = nw.add_node();
+    const auto dst = nw.add_node();
+    net::LinkConfig link;
+    link.bandwidth_bps = 10e6;
+    link.delay = sim::Duration::millis(10);
+    // Path A: one relay; path B: three relays.
+    routing::PathSet paths;
+    paths.src = src;
+    paths.dst = dst;
+    net::NodeId prev = src;
+    std::vector<net::NodeId> pa{src};
+    for (int i = 0; i < 1; ++i) {
+      const auto r = nw.add_node();
+      nw.add_duplex_link(prev, r, link);
+      pa.push_back(r);
+      prev = r;
+    }
+    nw.add_duplex_link(prev, dst, link);
+    pa.push_back(dst);
+    prev = src;
+    std::vector<net::NodeId> pb{src};
+    for (int i = 0; i < 3; ++i) {
+      const auto r = nw.add_node();
+      nw.add_duplex_link(prev, r, link);
+      pb.push_back(r);
+      prev = r;
+    }
+    nw.add_duplex_link(prev, dst, link);
+    pb.push_back(dst);
+    paths.paths = {pa, pb};
+    paths.costs = {2, 4};
+    nw.compute_static_routes();
+    auto policy = std::make_unique<routing::RouteFlapPolicy>(
+        scenario->sched, paths, sim::Duration::millis(200));
+    nw.node(src).set_source_routing_policy(policy.get());
+    scenario->policies.push_back(std::move(policy));
+    scenario->add_flow(variant, src, dst, 1, tcp::TcpConfig{},
+                       core::TcpPrConfig{}, sim::TimePoint::origin());
+    scenario->sched.run_until(sim::TimePoint::from_seconds(20));
+    return static_cast<double>(
+        scenario->receivers[0]->stats().goodput_bytes);
+  };
+  EXPECT_GT(goodput(TcpVariant::kTcpPr), 1.2 * goodput(TcpVariant::kSack));
+}
+
+TEST(Integration, ManyFlowsDumbbellStaysStable) {
+  // Stress: 16 + 16 flows; conservation and stability checks.
+  DumbbellConfig config;
+  config.pr_flows = 16;
+  config.sack_flows = 16;
+  auto scenario = harness::make_dumbbell(config);
+  const RunResult result = run_scenario(*scenario, short_window(50, 20));
+  double total = 0;
+  for (const auto& flow : result.flows) {
+    total += flow.throughput_bps;
+    // Receiver can never have delivered more than the sender sent.
+    EXPECT_LE(flow.receiver.goodput_bytes / 1000,
+              flow.sender.data_packets_sent);
+  }
+  EXPECT_LT(total, 1.05 * config.bottleneck_bw_bps);
+  EXPECT_GT(total, 0.7 * config.bottleneck_bw_bps);
+}
+
+}  // namespace
+}  // namespace tcppr

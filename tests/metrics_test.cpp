@@ -1,0 +1,95 @@
+// Unit tests for the fairness metrics (Section 4 definitions).
+#include <gtest/gtest.h>
+
+#include "stats/flow_stats.hpp"
+#include "stats/metrics.hpp"
+
+namespace tcppr::stats {
+namespace {
+
+TEST(Metrics, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(variance({2, 2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({1, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Metrics, NormalizedThroughputAveragesToOne) {
+  const auto norm = normalized_throughput({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(mean(norm), 1.0);
+  EXPECT_DOUBLE_EQ(norm[0], 0.4);
+  EXPECT_DOUBLE_EQ(norm[3], 1.6);
+}
+
+TEST(Metrics, NormalizedThroughputEqualSharesAllOne) {
+  for (const double v : normalized_throughput({5, 5, 5})) {
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+}
+
+TEST(Metrics, NormalizedThroughputZeroInput) {
+  const auto norm = normalized_throughput({0, 0});
+  EXPECT_DOUBLE_EQ(norm[0], 0.0);
+}
+
+TEST(Metrics, MeanOfSubset) {
+  EXPECT_DOUBLE_EQ(mean_of({1, 2, 3, 4}, {0, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(mean_of({1, 2}, {}), 0.0);
+}
+
+TEST(Metrics, CoefficientOfVariation) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({5, 5, 5}), 0.0);
+  // {1,3}: mean 2, std 1 -> CoV 0.5.
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({1, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({}), 0.0);
+}
+
+TEST(Metrics, JainIndex) {
+  EXPECT_DOUBLE_EQ(jain_index({1, 1, 1, 1}), 1.0);
+  // One flow hogging everything among n flows -> 1/n.
+  EXPECT_DOUBLE_EQ(jain_index({1, 0, 0, 0}), 0.25);
+  EXPECT_DOUBLE_EQ(jain_index({}), 0.0);
+}
+
+TEST(GaugeSampler, SamplesAtInterval) {
+  sim::Scheduler sched;
+  double value = 0;
+  GaugeSampler sampler(sched, sim::Duration::seconds(1),
+                       [&] { return value; });
+  sched.schedule_at(sim::TimePoint::from_seconds(2.5), [&] { value = 10; });
+  sampler.start();
+  sched.run_until(sim::TimePoint::from_seconds(5.1));
+  sampler.stop();
+  ASSERT_GE(sampler.samples().size(), 5u);
+  EXPECT_DOUBLE_EQ(sampler.samples()[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(sampler.samples()[4].value, 10.0);
+}
+
+TEST(GaugeSampler, RateOverWindow) {
+  sim::Scheduler sched;
+  // Gauge = 100 * t: rate 100/s.
+  GaugeSampler sampler(sched, sim::Duration::millis(100),
+                       [&] { return 100.0 * sched.now().as_seconds(); });
+  sampler.start();
+  sched.run_until(sim::TimePoint::from_seconds(10));
+  EXPECT_NEAR(sampler.rate_over(sim::TimePoint::from_seconds(2),
+                                sim::TimePoint::from_seconds(8)),
+              100.0, 1e-6);
+}
+
+TEST(GaugeSampler, RateWithoutSamplesIsZero) {
+  sim::Scheduler sched;
+  GaugeSampler sampler(sched, sim::Duration::seconds(1), [] { return 1.0; });
+  EXPECT_DOUBLE_EQ(sampler.rate_over(sim::TimePoint::origin(),
+                                     sim::TimePoint::from_seconds(1)),
+                   0.0);
+}
+
+TEST(WindowCounter, Delta) {
+  WindowCounter counter;
+  counter.mark_start(100);
+  EXPECT_DOUBLE_EQ(counter.delta(250), 150.0);
+}
+
+}  // namespace
+}  // namespace tcppr::stats

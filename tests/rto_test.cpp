@@ -1,0 +1,71 @@
+// Unit tests for the RFC 2988 RTO estimator.
+#include <gtest/gtest.h>
+
+#include "tcp/rto.hpp"
+
+namespace tcppr::tcp {
+namespace {
+
+using sim::Duration;
+
+TEST(RtoEstimator, InitialValueBeforeSamples) {
+  RtoEstimator rto;
+  EXPECT_FALSE(rto.has_sample());
+  EXPECT_EQ(rto.rto().as_nanos(), Duration::seconds(3).as_nanos());
+}
+
+TEST(RtoEstimator, FirstSampleSetsSrttAndVar) {
+  RtoEstimator rto;
+  rto.add_sample(Duration::millis(100));
+  EXPECT_TRUE(rto.has_sample());
+  EXPECT_EQ(rto.srtt().as_nanos(), Duration::millis(100).as_nanos());
+  EXPECT_EQ(rto.rttvar().as_nanos(), Duration::millis(50).as_nanos());
+  // srtt + 4*rttvar = 300ms, clamped up to the 1s floor.
+  EXPECT_EQ(rto.rto().as_nanos(), Duration::seconds(1).as_nanos());
+}
+
+TEST(RtoEstimator, ConvergesToSteadyRtt) {
+  RtoEstimator rto;
+  for (int i = 0; i < 100; ++i) rto.add_sample(Duration::millis(80));
+  EXPECT_NEAR(rto.srtt().as_seconds(), 0.080, 1e-3);
+  EXPECT_NEAR(rto.rttvar().as_seconds(), 0.0, 1e-3);
+}
+
+TEST(RtoEstimator, VariabilityRaisesRto) {
+  RtoEstimator::Params params;
+  params.min = Duration::millis(1);  // observe the raw formula
+  RtoEstimator rto(params);
+  for (int i = 0; i < 50; ++i) {
+    rto.add_sample(Duration::millis(i % 2 == 0 ? 50 : 250));
+  }
+  // srtt ~150ms; rttvar ~100ms; rto ~550ms.
+  EXPECT_GT(rto.rto().as_seconds(), 0.3);
+}
+
+TEST(RtoEstimator, BackoffDoublesAndResets) {
+  RtoEstimator rto;
+  rto.add_sample(Duration::millis(100));
+  const double base = rto.rto().as_seconds();
+  rto.back_off();
+  EXPECT_DOUBLE_EQ(rto.rto().as_seconds(), 2 * base);
+  rto.back_off();
+  EXPECT_DOUBLE_EQ(rto.rto().as_seconds(), 4 * base);
+  rto.reset_backoff();
+  EXPECT_DOUBLE_EQ(rto.rto().as_seconds(), base);
+}
+
+TEST(RtoEstimator, MaxClampsBackoff) {
+  RtoEstimator rto;
+  rto.add_sample(Duration::millis(100));
+  for (int i = 0; i < 20; ++i) rto.back_off();
+  EXPECT_LE(rto.rto().as_seconds(), 64.0 + 1e-9);
+}
+
+TEST(RtoEstimator, MinFloorApplies) {
+  RtoEstimator rto;
+  for (int i = 0; i < 10; ++i) rto.add_sample(Duration::millis(1));
+  EXPECT_EQ(rto.rto().as_nanos(), Duration::seconds(1).as_nanos());
+}
+
+}  // namespace
+}  // namespace tcppr::tcp

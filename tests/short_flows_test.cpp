@@ -1,0 +1,98 @@
+// Tests for the short-flow workload generator and flow-completion-time
+// measurements under reordering.
+#include <gtest/gtest.h>
+
+#include "harness/short_flows.hpp"
+#include "test_util.hpp"
+
+namespace tcppr::harness {
+namespace {
+
+TEST(ShortFlows, SpawnsAndCompletesFlows) {
+  testutil::PathFixture f;
+  ShortFlowPool::Config config;
+  config.mean_interarrival_s = 0.2;
+  config.min_segments = 5;
+  config.max_segments = 20;
+  config.seed = 3;
+  ShortFlowPool pool(*f.network, f.src, f.dst, config);
+  pool.start();
+  f.run_for(30);
+  pool.stop();
+  EXPECT_GT(pool.flows_started(), 100u);
+  EXPECT_GT(pool.flows_completed(), 90u);
+  EXPECT_EQ(pool.completion_times().size(), pool.flows_completed());
+  EXPECT_GT(pool.mean_completion_time(), 0.0);
+  EXPECT_LT(pool.mean_completion_time(), 5.0);
+}
+
+TEST(ShortFlows, RespectsConcurrencyCap) {
+  testutil::PathFixture f(1e5);  // slow bottleneck: flows pile up
+  ShortFlowPool::Config config;
+  config.mean_interarrival_s = 0.05;
+  config.max_concurrent = 10;
+  ShortFlowPool pool(*f.network, f.src, f.dst, config);
+  pool.start();
+  for (int i = 1; i <= 20; ++i) {
+    f.run_for(1);
+    EXPECT_LE(pool.flows_active(), 10u);
+  }
+  pool.stop();
+}
+
+TEST(ShortFlows, DeterministicForSeed) {
+  const auto run = [](std::uint64_t seed) {
+    testutil::PathFixture f;
+    ShortFlowPool::Config config;
+    config.seed = seed;
+    ShortFlowPool pool(*f.network, f.src, f.dst, config);
+    pool.start();
+    f.run_for(20);
+    return pool.completion_times();  // exact timings, not just counts
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(ShortFlows, ReorderingInflatesSackMiceButNotPrMice) {
+  // Flow completion time on the multipath mesh: SACK mice suffer from
+  // spurious retransmissions and RTO stalls; TCP-PR mice do not.
+  const auto mean_fct = [](TcpVariant v) {
+    MultipathConfig mc;
+    mc.variant = v;  // the bulk flow is irrelevant; do not start it
+    auto scenario = make_multipath(mc);
+    ShortFlowPool::Config config;
+    config.variant = v;
+    config.mean_interarrival_s = 0.4;
+    config.min_segments = 10;
+    config.max_segments = 30;
+    config.seed = 5;
+    ShortFlowPool pool(scenario->network, scenario->src_host,
+                       scenario->dst_host, config);
+    pool.start();
+    scenario->sched.run_until(sim::TimePoint::from_seconds(60));
+    pool.stop();
+    EXPECT_GT(pool.flows_completed(), 50u);
+    return pool.mean_completion_time();
+  };
+  const double pr = mean_fct(TcpVariant::kTcpPr);
+  const double sack = mean_fct(TcpVariant::kSack);
+  EXPECT_LT(pr, sack);
+}
+
+TEST(ShortFlows, BackgroundMiceCoexistWithBulkFlow) {
+  testutil::PathFixture f;
+  auto* bulk = f.add_flow(TcpVariant::kTcpPr, 1);
+  ShortFlowPool::Config config;
+  config.mean_interarrival_s = 0.5;
+  ShortFlowPool pool(*f.network, f.src, f.dst, config);
+  bulk->start();
+  pool.start();
+  f.run_for(30);
+  pool.stop();
+  EXPECT_GT(bulk->stats().segments_acked, 10000);
+  EXPECT_GT(pool.flows_completed(), 30u);
+}
+
+}  // namespace
+}  // namespace tcppr::harness

@@ -1,0 +1,68 @@
+// Shared fixtures: a two-host network with one router hop, a TCP flow of a
+// chosen variant, and helpers to run the simulation for a while.
+#pragma once
+
+#include <memory>
+
+#include "core/tcp_pr.hpp"
+#include "harness/scenarios.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/receiver.hpp"
+#include "tcp/sender_base.hpp"
+
+namespace tcppr::testutil {
+
+// src --(access)-- router --(bottleneck)-- dst, all owned together.
+struct PathFixture {
+  explicit PathFixture(double bottleneck_bps = 10e6,
+                       sim::Duration delay = sim::Duration::millis(10),
+                       std::size_t queue_limit = 100) {
+    network = std::make_unique<net::Network>(sched);
+    src = network->add_node();
+    router = network->add_node();
+    dst = network->add_node();
+    net::LinkConfig access;
+    access.bandwidth_bps = 1e9;
+    access.delay = sim::Duration::millis(1);
+    access.queue_limit_packets = 10000;
+    network->add_duplex_link(src, router, access);
+    net::LinkConfig bn;
+    bn.bandwidth_bps = bottleneck_bps;
+    bn.delay = delay;
+    bn.queue_limit_packets = queue_limit;
+    auto [fwd_link, rev_link] = network->add_duplex_link(router, dst, bn);
+    fwd = fwd_link;
+    rev = rev_link;
+    network->compute_static_routes();
+  }
+
+  // Creates receiver + sender for the variant; sender not yet started.
+  tcp::SenderBase* add_flow(harness::TcpVariant variant, net::FlowId flow,
+                            tcp::TcpConfig tcp_config = {},
+                            core::TcpPrConfig pr_config = {}) {
+    tcp::ReceiverConfig rc;
+    rc.segment_bytes = tcp_config.segment_bytes;
+    receivers.push_back(std::make_unique<tcp::Receiver>(*network, dst, src,
+                                                        flow, rc));
+    senders.push_back(harness::make_sender(variant, *network, src, dst, flow,
+                                           tcp_config, pr_config));
+    return senders.back().get();
+  }
+
+  tcp::Receiver* receiver(std::size_t i = 0) { return receivers[i].get(); }
+
+  void run_for(double seconds) {
+    sched.run_until(sched.now() + sim::Duration::seconds(seconds));
+  }
+
+  sim::Scheduler sched;
+  std::unique_ptr<net::Network> network;
+  net::NodeId src{}, router{}, dst{};
+  net::Link* fwd = nullptr;  // router -> dst (bottleneck, data direction)
+  net::Link* rev = nullptr;  // dst -> router (ACK direction)
+  std::vector<std::unique_ptr<tcp::Receiver>> receivers;
+  std::vector<std::unique_ptr<tcp::SenderBase>> senders;
+};
+
+}  // namespace tcppr::testutil

@@ -1,0 +1,214 @@
+// tcppr_sim — scenario driver CLI.
+//
+// Runs any of the paper's topologies with any sender variant and prints
+// per-flow results plus the fairness metrics; optionally writes an
+// ns-2-style packet trace. Everything the figure benches do, one run at a
+// time, scriptable.
+//
+//   tcppr_sim --topology dumbbell --pr-flows 4 --sack-flows 4
+//   tcppr_sim --topology multipath --variant inc-by-n --epsilon 1
+//   tcppr_sim --topology parking-lot --duration 100 --trace run.tr
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace tcppr;
+using harness::TcpVariant;
+
+struct Args {
+  std::string topology = "dumbbell";
+  std::string variant = "tcp-pr";
+  double epsilon = 0;
+  int pr_flows = 2;
+  int sack_flows = 2;
+  double duration_s = 60;
+  double measured_s = 30;
+  double bottleneck_mbps = 15;
+  double link_delay_ms = -1;  // topology default
+  double alpha = 0.995;
+  double beta = 3.0;
+  std::uint64_t seed = 1;
+  std::string trace_path;
+};
+
+std::optional<TcpVariant> parse_variant(const std::string& name) {
+  for (const TcpVariant v : harness::all_variants()) {
+    if (name == to_string(v)) return v;
+  }
+  return std::nullopt;
+}
+
+void usage() {
+  std::printf(
+      "tcppr_sim — run one simulation scenario\n\n"
+      "  --topology dumbbell|parking-lot|multipath   (default dumbbell)\n"
+      "  --variant <name>      sender for multipath runs (default tcp-pr)\n"
+      "                        names: tcp-pr sack reno newreno tahoe td-fr\n"
+      "                        dsack-nm inc-by-1 inc-by-n ewma eifel tcp-door\n"
+      "  --epsilon <e>         multipath spread parameter (default 0)\n"
+      "  --pr-flows <n>        dumbbell/parking-lot TCP-PR flows (default 2)\n"
+      "  --sack-flows <n>      dumbbell/parking-lot TCP-SACK flows (default 2)\n"
+      "  --duration <s>        total simulated seconds (default 60)\n"
+      "  --measured <s>        trailing measurement window (default 30)\n"
+      "  --bottleneck <mbps>   dumbbell bottleneck (default 15)\n"
+      "  --delay <ms>          link delay override\n"
+      "  --alpha <a> --beta <b>  TCP-PR parameters (default 0.995 / 3)\n"
+      "  --seed <n>            RNG seed (default 1)\n"
+      "  --trace <file>        write an ns-2-style packet trace\n");
+}
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--help" || flag == "-h") {
+      usage();
+      std::exit(0);
+    } else if (flag == "--topology") {
+      args.topology = next();
+    } else if (flag == "--variant") {
+      args.variant = next();
+    } else if (flag == "--epsilon") {
+      args.epsilon = std::atof(next());
+    } else if (flag == "--pr-flows") {
+      args.pr_flows = std::atoi(next());
+    } else if (flag == "--sack-flows") {
+      args.sack_flows = std::atoi(next());
+    } else if (flag == "--duration") {
+      args.duration_s = std::atof(next());
+    } else if (flag == "--measured") {
+      args.measured_s = std::atof(next());
+    } else if (flag == "--bottleneck") {
+      args.bottleneck_mbps = std::atof(next());
+    } else if (flag == "--delay") {
+      args.link_delay_ms = std::atof(next());
+    } else if (flag == "--alpha") {
+      args.alpha = std::atof(next());
+    } else if (flag == "--beta") {
+      args.beta = std::atof(next());
+    } else if (flag == "--seed") {
+      args.seed = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--trace") {
+      args.trace_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
+      return false;
+    }
+  }
+  args.measured_s = std::min(args.measured_s, args.duration_s);
+  return true;
+}
+
+std::unique_ptr<harness::Scenario> build(const Args& args) {
+  core::TcpPrConfig pr;
+  pr.alpha = args.alpha;
+  pr.beta = args.beta;
+  if (args.topology == "dumbbell") {
+    harness::DumbbellConfig config;
+    config.pr_flows = args.pr_flows;
+    config.sack_flows = args.sack_flows;
+    config.bottleneck_bw_bps = args.bottleneck_mbps * 1e6;
+    if (args.link_delay_ms > 0) {
+      config.bottleneck_delay = sim::Duration::millis(args.link_delay_ms);
+    }
+    config.pr = pr;
+    config.seed = args.seed;
+    return harness::make_dumbbell(config);
+  }
+  if (args.topology == "parking-lot") {
+    harness::ParkingLotConfig config;
+    config.pr_flows = args.pr_flows;
+    config.sack_flows = args.sack_flows;
+    if (args.link_delay_ms > 0) {
+      config.chain_delay = sim::Duration::millis(args.link_delay_ms);
+    }
+    config.pr = pr;
+    config.seed = args.seed;
+    return harness::make_parking_lot(config);
+  }
+  if (args.topology == "multipath") {
+    harness::MultipathConfig config;
+    const auto variant = parse_variant(args.variant);
+    if (!variant) {
+      std::fprintf(stderr, "unknown variant %s\n", args.variant.c_str());
+      return nullptr;
+    }
+    config.variant = *variant;
+    config.epsilon = args.epsilon;
+    if (args.link_delay_ms > 0) {
+      config.link_delay = sim::Duration::millis(args.link_delay_ms);
+    }
+    config.pr = pr;
+    config.seed = args.seed;
+    return harness::make_multipath(config);
+  }
+  std::fprintf(stderr, "unknown topology %s\n", args.topology.c_str());
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return 1;
+  auto scenario = build(args);
+  if (!scenario) return 1;
+
+  std::unique_ptr<trace::FileTrace> trace_file;
+  if (!args.trace_path.empty()) {
+    trace_file = std::make_unique<trace::FileTrace>(args.trace_path);
+    if (!trace_file->ok()) {
+      std::fprintf(stderr, "cannot open %s\n", args.trace_path.c_str());
+      return 1;
+    }
+    scenario->network.add_trace_sink(trace_file.get());
+  }
+
+  harness::MeasurementWindow window;
+  window.total = sim::Duration::seconds(args.duration_s);
+  window.measured = sim::Duration::seconds(args.measured_s);
+  const auto result = run_scenario(*scenario, window);
+
+  std::printf("topology=%s duration=%.0fs measured=%.0fs seed=%llu\n",
+              args.topology.c_str(), args.duration_s, args.measured_s,
+              static_cast<unsigned long long>(args.seed));
+  std::printf("%-4s %-9s %12s %12s %8s %6s %6s %6s\n", "flow", "variant",
+              "thr (kbps)", "goodput", "rtx", "spur", "to", "halv");
+  const auto norm = result.normalized();
+  for (std::size_t i = 0; i < result.flows.size(); ++i) {
+    const auto& f = result.flows[i];
+    std::printf("%-4d %-9s %12.0f %12.0f %8llu %6llu %6llu %6llu\n",
+                static_cast<int>(f.flow), to_string(f.variant),
+                f.throughput_bps / 1e3, f.goodput_bps / 1e3,
+                static_cast<unsigned long long>(f.sender.retransmissions),
+                static_cast<unsigned long long>(
+                    f.sender.spurious_retransmits_detected),
+                static_cast<unsigned long long>(f.sender.timeouts),
+                static_cast<unsigned long long>(f.sender.cwnd_halvings));
+  }
+  std::printf("\nloss rate %.2f%%, %llu events processed\n",
+              100.0 * result.loss_rate,
+              static_cast<unsigned long long>(result.events));
+  if (result.flows.size() > 1) {
+    std::printf("mean normalized: tcp-pr %.3f, sack %.3f; CoV %.3f / %.3f\n",
+                result.mean_normalized(TcpVariant::kTcpPr),
+                result.mean_normalized(TcpVariant::kSack),
+                result.cov(TcpVariant::kTcpPr),
+                result.cov(TcpVariant::kSack));
+  }
+  if (trace_file) {
+    trace_file->flush();
+    std::printf("trace written to %s\n", args.trace_path.c_str());
+  }
+  return 0;
+}
