@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pr.dir/ablation_pr.cpp.o"
+  "CMakeFiles/ablation_pr.dir/ablation_pr.cpp.o.d"
+  "ablation_pr"
+  "ablation_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

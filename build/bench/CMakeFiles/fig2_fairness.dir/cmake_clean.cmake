@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fairness.dir/fig2_fairness.cpp.o"
+  "CMakeFiles/fig2_fairness.dir/fig2_fairness.cpp.o.d"
+  "fig2_fairness"
+  "fig2_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cov.dir/fig3_cov.cpp.o"
+  "CMakeFiles/fig3_cov.dir/fig3_cov.cpp.o.d"
+  "fig3_cov"
+  "fig3_cov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_multipath.dir/fig6_multipath.cpp.o"
+  "CMakeFiles/fig6_multipath.dir/fig6_multipath.cpp.o.d"
+  "fig6_multipath"
+  "fig6_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffserv_reordering.dir/diffserv_reordering.cpp.o"
+  "CMakeFiles/diffserv_reordering.dir/diffserv_reordering.cpp.o.d"
+  "diffserv_reordering"
+  "diffserv_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffserv_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_duel.dir/fairness_duel.cpp.o"
+  "CMakeFiles/fairness_duel.dir/fairness_duel.cpp.o.d"
+  "fairness_duel"
+  "fairness_duel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_duel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath_transfer.dir/multipath_transfer.cpp.o"
+  "CMakeFiles/multipath_transfer.dir/multipath_transfer.cpp.o.d"
+  "multipath_transfer"
+  "multipath_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

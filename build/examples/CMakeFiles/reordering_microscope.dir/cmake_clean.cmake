@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reordering_microscope.dir/reordering_microscope.cpp.o"
+  "CMakeFiles/reordering_microscope.dir/reordering_microscope.cpp.o.d"
+  "reordering_microscope"
+  "reordering_microscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reordering_microscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_mice.dir/web_mice.cpp.o"
+  "CMakeFiles/web_mice.dir/web_mice.cpp.o.d"
+  "web_mice"
+  "web_mice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_mice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/sources.cpp" "src/CMakeFiles/tcppr.dir/app/sources.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/app/sources.cpp.o.d"
+  "/root/repo/src/core/tcp_pr.cpp" "src/CMakeFiles/tcppr.dir/core/tcp_pr.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/core/tcp_pr.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/tcppr.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/scenarios.cpp" "src/CMakeFiles/tcppr.dir/harness/scenarios.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/harness/scenarios.cpp.o.d"
+  "/root/repo/src/harness/short_flows.cpp" "src/CMakeFiles/tcppr.dir/harness/short_flows.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/harness/short_flows.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/tcppr.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/link_flapper.cpp" "src/CMakeFiles/tcppr.dir/net/link_flapper.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/net/link_flapper.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/tcppr.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/tcppr.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/CMakeFiles/tcppr.dir/net/queue.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/net/queue.cpp.o.d"
+  "/root/repo/src/routing/graph.cpp" "src/CMakeFiles/tcppr.dir/routing/graph.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/routing/graph.cpp.o.d"
+  "/root/repo/src/routing/multipath.cpp" "src/CMakeFiles/tcppr.dir/routing/multipath.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/routing/multipath.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/tcppr.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/tcppr.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/tcppr.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/stats/flow_stats.cpp" "src/CMakeFiles/tcppr.dir/stats/flow_stats.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/stats/flow_stats.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/CMakeFiles/tcppr.dir/stats/metrics.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/stats/metrics.cpp.o.d"
+  "/root/repo/src/stats/reorder.cpp" "src/CMakeFiles/tcppr.dir/stats/reorder.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/stats/reorder.cpp.o.d"
+  "/root/repo/src/tcp/door.cpp" "src/CMakeFiles/tcppr.dir/tcp/door.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/tcp/door.cpp.o.d"
+  "/root/repo/src/tcp/eifel.cpp" "src/CMakeFiles/tcppr.dir/tcp/eifel.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/tcp/eifel.cpp.o.d"
+  "/root/repo/src/tcp/mitigation.cpp" "src/CMakeFiles/tcppr.dir/tcp/mitigation.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/tcp/mitigation.cpp.o.d"
+  "/root/repo/src/tcp/newreno.cpp" "src/CMakeFiles/tcppr.dir/tcp/newreno.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/tcp/newreno.cpp.o.d"
+  "/root/repo/src/tcp/receiver.cpp" "src/CMakeFiles/tcppr.dir/tcp/receiver.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/tcp/receiver.cpp.o.d"
+  "/root/repo/src/tcp/reno.cpp" "src/CMakeFiles/tcppr.dir/tcp/reno.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/tcp/reno.cpp.o.d"
+  "/root/repo/src/tcp/rto.cpp" "src/CMakeFiles/tcppr.dir/tcp/rto.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/tcp/rto.cpp.o.d"
+  "/root/repo/src/tcp/sack.cpp" "src/CMakeFiles/tcppr.dir/tcp/sack.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/tcp/sack.cpp.o.d"
+  "/root/repo/src/tcp/sender_base.cpp" "src/CMakeFiles/tcppr.dir/tcp/sender_base.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/tcp/sender_base.cpp.o.d"
+  "/root/repo/src/tcp/tahoe.cpp" "src/CMakeFiles/tcppr.dir/tcp/tahoe.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/tcp/tahoe.cpp.o.d"
+  "/root/repo/src/tcp/tdfr.cpp" "src/CMakeFiles/tcppr.dir/tcp/tdfr.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/tcp/tdfr.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/tcppr.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/tcppr.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/tcppr.dir/util/logging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/door_tahoe_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/door_tahoe_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/door_tahoe_test.cpp.o.d"
+  "/root/repo/tests/event_queue_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/event_queue_test.cpp.o.d"
+  "/root/repo/tests/graph_property_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/graph_property_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/graph_property_test.cpp.o.d"
+  "/root/repo/tests/harness_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/harness_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/harness_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/interop_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/interop_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/interop_test.cpp.o.d"
+  "/root/repo/tests/metrics_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/metrics_test.cpp.o.d"
+  "/root/repo/tests/mitigation_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/mitigation_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/mitigation_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/queue_disc_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/queue_disc_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/queue_disc_test.cpp.o.d"
+  "/root/repo/tests/receiver_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/receiver_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/receiver_test.cpp.o.d"
+  "/root/repo/tests/reno_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/reno_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/reno_test.cpp.o.d"
+  "/root/repo/tests/reorder_stats_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/reorder_stats_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/reorder_stats_test.cpp.o.d"
+  "/root/repo/tests/routing_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/routing_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/routing_test.cpp.o.d"
+  "/root/repo/tests/rto_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/rto_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/rto_test.cpp.o.d"
+  "/root/repo/tests/sack_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/sack_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/sack_test.cpp.o.d"
+  "/root/repo/tests/scheduler_fuzz_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/scheduler_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/scheduler_fuzz_test.cpp.o.d"
+  "/root/repo/tests/short_flows_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/short_flows_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/short_flows_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/tcp_pr_internals_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/tcp_pr_internals_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/tcp_pr_internals_test.cpp.o.d"
+  "/root/repo/tests/tcp_pr_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/tcp_pr_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/tcp_pr_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/tcppr_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/tcppr_tests.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcppr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

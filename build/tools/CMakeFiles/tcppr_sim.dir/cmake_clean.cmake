@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcppr_sim.dir/tcppr_sim.cpp.o"
+  "CMakeFiles/tcppr_sim.dir/tcppr_sim.cpp.o.d"
+  "tcppr_sim"
+  "tcppr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcppr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
