@@ -14,6 +14,7 @@ struct Options {
   std::uint64_t seed = 1;
   bool ablate_snapshot = false;  // fig6 ablation switch
   bool extended = false;         // fig6: include the extension variants
+  int jobs = 1;                  // worker threads for independent cells
 
   static Options parse(int argc, char** argv) {
     Options opts;
@@ -22,14 +23,17 @@ struct Options {
         opts.quick = true;
       } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
         opts.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+        opts.jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+        if (opts.jobs < 1) opts.jobs = 1;
       } else if (std::strcmp(argv[i], "--ablate-snapshot") == 0) {
         opts.ablate_snapshot = true;
       } else if (std::strcmp(argv[i], "--extended") == 0) {
         opts.extended = true;
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
-            "flags: --quick (reduced sweep)  --seed N  --ablate-snapshot  "
-            "--extended\n");
+            "flags: --quick (reduced sweep)  --seed N  --jobs N (parallel "
+            "cells)  --ablate-snapshot  --extended\n");
       }
     }
     return opts;

@@ -7,11 +7,13 @@
 // bandwidth point runs several seeds and reports each run's CoV plus the
 // per-point mean. Paper expectation: PR and SACK CoV curves overlap and
 // grow mildly with loss.
+#include <cstddef>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "stats/metrics.hpp"
 
 namespace {
@@ -27,7 +29,11 @@ MeasurementWindow window() {
   return w;
 }
 
-struct Point {
+// One (topology, bandwidth, seed) simulation; results filled by a worker.
+struct Cell {
+  bool parking_lot = false;
+  double bw_mbps = 0;
+  int seed_index = 0;
   double loss_percent = 0;
   double cov_pr = 0;
   double cov_sack = 0;
@@ -48,6 +54,44 @@ int main(int argc, char** argv) {
     flows_per_side = 8;
   }
 
+  // Enumerate every cell up front, run them (possibly on worker threads —
+  // each owns its scheduler/network/rng), then print from the main thread
+  // in enumeration order so output is identical for any --jobs value.
+  std::vector<Cell> cells;
+  for (const bool parking_lot : {false, true}) {
+    for (const double bw : bandwidths_mbps) {
+      for (int s = 0; s < seeds; ++s) {
+        cells.push_back(Cell{parking_lot, bw, s, 0, 0, 0});
+      }
+    }
+  }
+  harness::parallel_for(
+      opts.jobs, static_cast<int>(cells.size()), [&](int i) {
+        Cell& cell = cells[static_cast<std::size_t>(i)];
+        harness::RunResult result;
+        if (cell.parking_lot) {
+          harness::ParkingLotConfig config;
+          config.pr_flows = flows_per_side;
+          config.sack_flows = flows_per_side;
+          config.chain_bw_bps = cell.bw_mbps * 1e6;
+          config.seed = opts.seed + 97 * cell.seed_index;
+          auto scenario = harness::make_parking_lot(config);
+          result = run_scenario(*scenario, window());
+        } else {
+          harness::DumbbellConfig config;
+          config.pr_flows = flows_per_side;
+          config.sack_flows = flows_per_side;
+          config.bottleneck_bw_bps = cell.bw_mbps * 1e6;
+          config.seed = opts.seed + 97 * cell.seed_index;
+          auto scenario = harness::make_dumbbell(config);
+          result = run_scenario(*scenario, window());
+        }
+        cell.loss_percent = 100.0 * result.loss_rate;
+        cell.cov_pr = result.cov(TcpVariant::kTcpPr);
+        cell.cov_sack = result.cov(TcpVariant::kSack);
+      });
+
+  std::size_t next = 0;
   for (const bool parking_lot : {false, true}) {
     bench::print_header(parking_lot
                             ? "Figure 3 (right): parking-lot CoV vs loss"
@@ -57,29 +101,12 @@ int main(int argc, char** argv) {
     for (const double bw : bandwidths_mbps) {
       std::vector<double> losses, covs_pr, covs_sack;
       for (int s = 0; s < seeds; ++s) {
-        harness::RunResult result;
-        if (parking_lot) {
-          harness::ParkingLotConfig config;
-          config.pr_flows = flows_per_side;
-          config.sack_flows = flows_per_side;
-          config.chain_bw_bps = bw * 1e6;
-          config.seed = opts.seed + 97 * s;
-          auto scenario = harness::make_parking_lot(config);
-          result = run_scenario(*scenario, window());
-        } else {
-          harness::DumbbellConfig config;
-          config.pr_flows = flows_per_side;
-          config.sack_flows = flows_per_side;
-          config.bottleneck_bw_bps = bw * 1e6;
-          config.seed = opts.seed + 97 * s;
-          auto scenario = harness::make_dumbbell(config);
-          result = run_scenario(*scenario, window());
-        }
-        losses.push_back(100.0 * result.loss_rate);
-        covs_pr.push_back(result.cov(TcpVariant::kTcpPr));
-        covs_sack.push_back(result.cov(TcpVariant::kSack));
+        const Cell& cell = cells[next++];
+        losses.push_back(cell.loss_percent);
+        covs_pr.push_back(cell.cov_pr);
+        covs_sack.push_back(cell.cov_sack);
         std::printf("%7.1f M  %7.2f%% %10.3f %10.3f   (seed %d)\n", bw,
-                    losses.back(), covs_pr.back(), covs_sack.back(), s);
+                    cell.loss_percent, cell.cov_pr, cell.cov_sack, s);
       }
       std::printf("%7.1f M  %7.2f%% %10.3f %10.3f   <- mean of %d runs\n",
                   bw, stats::mean(losses), stats::mean(covs_pr),

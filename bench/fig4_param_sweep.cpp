@@ -6,11 +6,13 @@
 // Paper expectation: values near 1 everywhere except beta = 1, where
 // TCP-SACK gains an advantage (TCP-PR's timeout margin is too tight and it
 // spuriously backs off).
+#include <cstddef>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 
 namespace {
 
@@ -25,6 +27,14 @@ MeasurementWindow window() {
   return w;
 }
 
+// One (topology, alpha, beta) grid cell; result filled by a worker.
+struct Cell {
+  bool parking_lot = false;
+  double alpha = 0;
+  double beta = 0;
+  double sack_mean_normalized = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -38,6 +48,43 @@ int main(int argc, char** argv) {
     per_side = 8;
   }
 
+  // Enumerate the grid, run cells (possibly in parallel — each owns its
+  // scheduler/network/rng), then print in enumeration order.
+  std::vector<Cell> cells;
+  for (const bool parking_lot : {false, true}) {
+    for (const double alpha : alphas) {
+      for (const double beta : betas) {
+        cells.push_back(Cell{parking_lot, alpha, beta, 0});
+      }
+    }
+  }
+  harness::parallel_for(
+      opts.jobs, static_cast<int>(cells.size()), [&](int i) {
+        Cell& cell = cells[static_cast<std::size_t>(i)];
+        harness::RunResult result;
+        if (cell.parking_lot) {
+          harness::ParkingLotConfig config;
+          config.pr_flows = per_side;
+          config.sack_flows = per_side;
+          config.pr.alpha = cell.alpha;
+          config.pr.beta = cell.beta;
+          config.seed = opts.seed;
+          auto scenario = harness::make_parking_lot(config);
+          result = run_scenario(*scenario, window());
+        } else {
+          harness::DumbbellConfig config;
+          config.pr_flows = per_side;
+          config.sack_flows = per_side;
+          config.pr.alpha = cell.alpha;
+          config.pr.beta = cell.beta;
+          config.seed = opts.seed;
+          auto scenario = harness::make_dumbbell(config);
+          result = run_scenario(*scenario, window());
+        }
+        cell.sack_mean_normalized = result.mean_normalized(TcpVariant::kSack);
+      });
+
+  std::size_t next = 0;
   for (const bool parking_lot : {false, true}) {
     bench::print_header(
         parking_lot
@@ -48,29 +95,8 @@ int main(int argc, char** argv) {
     std::printf("\n");
     for (const double alpha : alphas) {
       std::printf("%8.4f", alpha);
-      for (const double beta : betas) {
-        harness::RunResult result;
-        if (parking_lot) {
-          harness::ParkingLotConfig config;
-          config.pr_flows = per_side;
-          config.sack_flows = per_side;
-          config.pr.alpha = alpha;
-          config.pr.beta = beta;
-          config.seed = opts.seed;
-          auto scenario = harness::make_parking_lot(config);
-          result = run_scenario(*scenario, window());
-        } else {
-          harness::DumbbellConfig config;
-          config.pr_flows = per_side;
-          config.sack_flows = per_side;
-          config.pr.alpha = alpha;
-          config.pr.beta = beta;
-          config.seed = opts.seed;
-          auto scenario = harness::make_dumbbell(config);
-          result = run_scenario(*scenario, window());
-        }
-        std::printf(" %8.3f", result.mean_normalized(TcpVariant::kSack));
-        std::fflush(stdout);
+      for (std::size_t b = 0; b < betas.size(); ++b) {
+        std::printf(" %8.3f", cells[next++].sack_mean_normalized);
       }
       std::printf("\n");
     }

@@ -11,11 +11,13 @@
 //
 // --ablate-snapshot additionally prints TCP-PR with the cwnd-snapshot rule
 // ablated (halving the current window instead of cwnd(n)).
+#include <cstddef>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 
 namespace {
 
@@ -34,6 +36,16 @@ MeasurementWindow window(double delay_ms, bool quick) {
   w.measured = sim::Duration::seconds(quick ? 30.0 : 60.0);
   return w;
 }
+
+// One (delay, variant, epsilon) cell of the figure; result filled by a
+// worker.
+struct Cell {
+  double delay_ms = 0;
+  TcpVariant variant = TcpVariant::kTcpPr;
+  double epsilon = 0;
+  bool ablate = false;
+  double goodput_mbps = 0;
+};
 
 }  // namespace
 
@@ -56,6 +68,36 @@ int main(int argc, char** argv) {
     epsilons = {0, 10, 500};
   }
 
+  // Enumerate cells in print order, run them (possibly on worker threads —
+  // each owns its scheduler/network/rng), then print sequentially.
+  std::vector<Cell> cells;
+  for (const double delay_ms : {10.0, 60.0}) {
+    for (const TcpVariant v : variants) {
+      for (const double eps : epsilons) {
+        cells.push_back(Cell{delay_ms, v, eps, false, 0});
+      }
+    }
+    if (opts.ablate_snapshot) {
+      for (const double eps : epsilons) {
+        cells.push_back(Cell{delay_ms, TcpVariant::kTcpPr, eps, true, 0});
+      }
+    }
+  }
+  harness::parallel_for(
+      opts.jobs, static_cast<int>(cells.size()), [&](int i) {
+        Cell& cell = cells[static_cast<std::size_t>(i)];
+        MultipathConfig config;
+        config.variant = cell.variant;
+        config.epsilon = cell.epsilon;
+        config.link_delay = sim::Duration::millis(cell.delay_ms);
+        if (cell.ablate) config.pr.ablate_halve_current_cwnd = true;
+        config.seed = opts.seed;
+        const auto result =
+            run_multipath_cell(config, window(cell.delay_ms, opts.quick));
+        cell.goodput_mbps = result.goodput_bps / 1e6;
+      });
+
+  std::size_t next = 0;
   for (const double delay_ms : {10.0, 60.0}) {
     char title[128];
     std::snprintf(title, sizeof(title),
@@ -67,32 +109,15 @@ int main(int argc, char** argv) {
     std::printf("\n");
     for (const TcpVariant v : variants) {
       std::printf("%-10s", to_string(v));
-      for (const double eps : epsilons) {
-        MultipathConfig config;
-        config.variant = v;
-        config.epsilon = eps;
-        config.link_delay = sim::Duration::millis(delay_ms);
-        config.seed = opts.seed;
-        const auto cell =
-            run_multipath_cell(config, window(delay_ms, opts.quick));
-        std::printf("  %-10.2f", cell.goodput_bps / 1e6);
-        std::fflush(stdout);
+      for (std::size_t e = 0; e < epsilons.size(); ++e) {
+        std::printf("  %-10.2f", cells[next++].goodput_mbps);
       }
       std::printf("\n");
     }
     if (opts.ablate_snapshot) {
       std::printf("%-10s", "pr-ablate");
-      for (const double eps : epsilons) {
-        MultipathConfig config;
-        config.variant = TcpVariant::kTcpPr;
-        config.epsilon = eps;
-        config.link_delay = sim::Duration::millis(delay_ms);
-        config.pr.ablate_halve_current_cwnd = true;
-        config.seed = opts.seed;
-        const auto cell =
-            run_multipath_cell(config, window(delay_ms, opts.quick));
-        std::printf("  %-10.2f", cell.goodput_bps / 1e6);
-        std::fflush(stdout);
+      for (std::size_t e = 0; e < epsilons.size(); ++e) {
+        std::printf("  %-10.2f", cells[next++].goodput_mbps);
       }
       std::printf("   <- snapshot rule ablated\n");
     }

@@ -45,6 +45,84 @@ void BM_SchedulerCancel(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerCancel);
 
+// Timer churn against a live population: randomized cancel + reschedule,
+// the access pattern TCP RTO restarts generate. Unlike
+// BM_SchedulerScheduleRun the pushes are not monotone, so the heap backend
+// runs in full heap mode rather than the sorted-append fast path.
+// Arg: 0 = binary heap, 1 = calendar queue.
+void BM_SchedulerChurnBackend(benchmark::State& state) {
+  const auto backend = state.range(0) == 0
+                           ? sim::SchedulerBackend::kBinaryHeap
+                           : sim::SchedulerBackend::kCalendarQueue;
+  constexpr int kLive = 4096;
+  constexpr int kChurn = 100000;
+  for (auto _ : state) {
+    sim::Scheduler sched(backend);
+    sim::Rng rng(1234);
+    std::vector<sim::EventId> live;
+    live.reserve(kLive);
+    for (int i = 0; i < kLive; ++i) {
+      live.push_back(sched.schedule_at(
+          sim::TimePoint::from_seconds(rng.uniform(0.0, 1.0)), [] {}));
+    }
+    for (int i = 0; i < kChurn; ++i) {
+      const auto slot = rng.uniform_int(kLive);
+      sched.cancel(live[slot]);
+      live[slot] = sched.schedule_at(
+          sim::TimePoint::from_seconds(rng.uniform(0.0, 1.0)), [] {});
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.processed_count());
+  }
+  state.SetItemsProcessed(state.iterations() * kChurn);
+}
+BENCHMARK(BM_SchedulerChurnBackend)->Arg(0)->Arg(1);
+
+// Steady-state forwarding: a burst of packets crossing a three-hop chain
+// with no transport on top. Exercises the per-hop path in isolation —
+// queue discipline, link serialization, packet-pool recycling, inline
+// header storage.
+void BM_PacketForwardLoop(benchmark::State& state) {
+  struct Sink : net::Agent {
+    std::uint64_t received = 0;
+    void deliver(net::Packet&&) override { ++received; }
+  };
+  constexpr int kPackets = 10000;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network net(sched);
+    const net::NodeId a = net.add_node();
+    const net::NodeId b = net.add_node();
+    const net::NodeId c = net.add_node();
+    const net::NodeId d = net.add_node();
+    net::LinkConfig cfg;
+    cfg.bandwidth_bps = 1e9;
+    cfg.delay = sim::Duration::micros(10);
+    cfg.queue_limit_packets = kPackets + 1;
+    net.add_link(a, b, cfg);
+    net.add_link(b, c, cfg);
+    net.add_link(c, d, cfg);
+    net.compute_static_routes();
+    Sink sink;
+    net.node(d).attach_agent(/*flow=*/1, &sink);
+    for (int i = 0; i < kPackets; ++i) {
+      net::Packet pkt;
+      pkt.uid = net.allocate_uid();
+      pkt.src = a;
+      pkt.dst = d;
+      pkt.size_bytes = 1000;
+      pkt.type = net::PacketType::kTcpData;
+      pkt.tcp.flow = 1;
+      pkt.tcp.seq = i;
+      net.node(a).originate(std::move(pkt));
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sink.received);
+  }
+  state.SetItemsProcessed(state.iterations() * kPackets * 3);
+}
+BENCHMARK(BM_PacketForwardLoop)->Unit(benchmark::kMillisecond);
+
 void BM_RngUniform(benchmark::State& state) {
   sim::Rng rng(1);
   double acc = 0;

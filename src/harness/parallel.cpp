@@ -1,0 +1,38 @@
+#include "harness/parallel.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace tcppr::harness {
+
+void parallel_for(int jobs, int count, const std::function<void(int)>& fn) {
+  TCPPR_CHECK(count >= 0);
+  TCPPR_CHECK(fn != nullptr);
+  if (count == 0) return;
+  const int workers = std::min(jobs, count);
+  if (workers <= 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Dynamic dispatch over an atomic cursor: cells vary wildly in cost
+  // (long-delay multipath cells simulate 200 s, quick cells 60 s), so a
+  // static partition would leave workers idle at the tail.
+  std::atomic<int> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace tcppr::harness

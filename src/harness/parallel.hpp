@@ -1,0 +1,22 @@
+// Thread-pool runner for embarrassingly parallel sweep cells.
+//
+// Each figure harness evaluates a grid of independent simulation cells
+// (topology x parameter x seed); every cell owns its Scheduler, Network
+// and Rng, so cells share no mutable state and can run on worker threads.
+// Determinism: workers only *compute* — each cell writes its result into a
+// caller-provided slot indexed by cell number and all printing happens
+// afterwards on the caller's thread in cell order, so the output is
+// byte-identical for any worker count (checked by the --jobs smoke test).
+#pragma once
+
+#include <functional>
+
+namespace tcppr::harness {
+
+// Invokes fn(i) for i in [0, count) using up to `jobs` worker threads
+// (clamped to count; jobs <= 1 runs inline). fn must not touch shared
+// mutable state; it should write results into pre-sized storage at index
+// i. Blocks until every cell has completed.
+void parallel_for(int jobs, int count, const std::function<void(int)>& fn);
+
+}  // namespace tcppr::harness

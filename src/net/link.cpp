@@ -66,6 +66,11 @@ void Link::send(Packet&& pkt) {
   if (!busy_) start_transmission();
 }
 
+PacketPool& Link::pool() {
+  if (pool_ == nullptr) pool_ = PacketPool::create();
+  return *pool_;
+}
+
 void Link::start_transmission() {
   auto pkt = queue_->dequeue();
   if (!pkt) {
@@ -78,13 +83,17 @@ void Link::start_transmission() {
   }
   const double tx_seconds =
       static_cast<double>(pkt->size_bytes) * 8.0 / bandwidth_bps_;
-  // Move the packet into the completion event.
+  // Check the packet out of the pool for its trip through the scheduler:
+  // the {this, pooled pointer} capture fits the event slot's inline
+  // callback buffer, so the completion event allocates nothing.
   sched_.schedule_in(
       sim::Duration::seconds(tx_seconds),
-      [this, p = std::move(*pkt)]() mutable { on_tx_complete(std::move(p)); });
+      [this, p = pool().make(std::move(*pkt))]() mutable {
+        on_tx_complete(std::move(p));
+      });
 }
 
-void Link::on_tx_complete(Packet&& pkt) {
+void Link::on_tx_complete(PooledPacket pkt) {
   // Transmitter is free: begin the next packet (if any) before modelling
   // this packet's propagation.
   start_transmission();
@@ -92,25 +101,25 @@ void Link::on_tx_complete(Packet&& pkt) {
   if (loss_rate_ > 0 && loss_rng_.bernoulli(loss_rate_)) {
     ++stats_.lost;
     if (tracer_ != nullptr) {
-      tracer_->emit(sched_.now(), trace::EventType::kLossDrop, pkt, from_,
+      tracer_->emit(sched_.now(), trace::EventType::kLossDrop, *pkt, from_,
                     to_);
     }
     TCPPR_LOG_DEBUG("link", "loss-model drop on %d->%d", from_, to_);
-    return;
+    return;  // pkt returns to the pool
   }
-  ++pkt.hops;
+  ++pkt->hops;
   sim::Duration delivery_delay = prop_delay_;
   if (max_jitter_ > sim::Duration::zero()) {
     delivery_delay +=
         max_jitter_ * jitter_rng_.uniform();  // may reorder deliveries
   }
-  sched_.schedule_in(delivery_delay,
-                     [this, p = std::move(pkt)]() mutable {
-                       ++stats_.delivered;
-                       stats_.bytes_delivered += p.size_bytes;
-                       TCPPR_DCHECK(dst_node_ != nullptr);
-                       dst_node_->receive(std::move(p));
-                     });
+  sched_.schedule_in(delivery_delay, [this, p = std::move(pkt)]() mutable {
+    ++stats_.delivered;
+    stats_.bytes_delivered += p->size_bytes;
+    TCPPR_DCHECK(dst_node_ != nullptr);
+    dst_node_->receive(std::move(*p));
+    // p's release into the pool recycles the packet for the next hop.
+  });
 }
 
 }  // namespace tcppr::net

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "net/queue.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -41,6 +42,11 @@ class Link {
   // Wired once by Network after nodes exist.
   void set_destination(Node* node) { dst_node_ = node; }
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  // Shares the network-wide recycling pool for in-flight packets. A link
+  // constructed standalone (tests) lazily creates its own.
+  void set_packet_pool(std::shared_ptr<PacketPool> pool) {
+    pool_ = std::move(pool);
+  }
   // Changes the propagation delay for future transmissions (mobility /
   // route-change models).
   void set_prop_delay(sim::Duration delay) { prop_delay_ = delay; }
@@ -77,7 +83,8 @@ class Link {
 
  private:
   void start_transmission();
-  void on_tx_complete(Packet&& pkt);
+  void on_tx_complete(PooledPacket pkt);
+  PacketPool& pool();
 
   sim::Scheduler& sched_;
   NodeId from_;
@@ -85,6 +92,7 @@ class Link {
   double bandwidth_bps_;
   sim::Duration prop_delay_;
   std::unique_ptr<Queue> queue_;
+  std::shared_ptr<PacketPool> pool_;
   Node* dst_node_ = nullptr;
   bool busy_ = false;
   bool down_ = false;

@@ -10,6 +10,7 @@
 #include "net/link.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "routing/graph.hpp"
 #include "sim/scheduler.hpp"
 #include "trace/trace.hpp"
@@ -56,6 +57,10 @@ class Network {
   sim::Scheduler& scheduler() { return sched_; }
   std::uint64_t allocate_uid() { return next_uid_++; }
 
+  // Recycling pool shared by every link: packets in flight across the
+  // whole network draw from one free list.
+  const std::shared_ptr<PacketPool>& packet_pool() const { return pool_; }
+
   // Attaches a trace sink; all packet events at every node and link are
   // reported from then on.
   void add_trace_sink(trace::TraceSink* sink) { tracer_.add_sink(sink); }
@@ -67,6 +72,7 @@ class Network {
  private:
   sim::Scheduler& sched_;
   trace::Tracer tracer_;
+  std::shared_ptr<PacketPool> pool_ = PacketPool::create();
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::uint64_t next_uid_ = 1;

@@ -33,7 +33,7 @@ class Agent {
 class SourceRoutingPolicy {
  public:
   struct Choice {
-    std::vector<NodeId> route;  // nodes after this one, ending at dst
+    RouteVec route;  // nodes after this one, ending at dst
     int path_id = -1;
   };
   virtual ~SourceRoutingPolicy() = default;

@@ -8,9 +8,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <vector>
 
 #include "sim/time.hpp"
+#include "util/inline_vec.hpp"
 
 namespace tcppr::net {
 
@@ -30,6 +30,13 @@ struct SackBlock {
   friend constexpr bool operator==(const SackBlock&, const SackBlock&) = default;
 };
 
+// RFC 2018 caps a SACK option at 3 blocks (4 with the RFC 2883 D-SACK
+// slot), so four inline slots cover every ACK without touching the heap.
+using SackVec = util::InlineVec<SackBlock, 4>;
+// Source routes in the paper's topologies are a handful of hops; eight
+// inline slots cover the parking-lot and multipath configurations.
+using RouteVec = util::InlineVec<NodeId, 8>;
+
 // TCP header fields relevant at packet granularity. A real header is 40
 // bytes; options (SACK blocks, timestamps) ride along for the variants that
 // need them and are ignored by the ones that don't.
@@ -46,8 +53,8 @@ struct TcpHeader {
   // Sender timestamp echoed by the receiver (seconds); Eifel option.
   double ts_value = 0.0;
   double ts_echo = 0.0;
-  std::vector<SackBlock> sack;        // up to 3 blocks (RFC 2018)
-  std::optional<SackBlock> dsack;     // first block duplicate (RFC 2883)
+  SackVec sack;                    // up to 3 blocks (RFC 2018), inline
+  std::optional<SackBlock> dsack;  // first block duplicate (RFC 2883)
 };
 
 struct Packet {
@@ -61,7 +68,7 @@ struct Packet {
   // Source route (list of node ids, excluding src, ending at dst). When
   // non-empty, forwarding follows it instead of per-node routing tables —
   // this is how per-packet multi-path routing is realized.
-  std::vector<NodeId> source_route;
+  RouteVec source_route;
   std::uint32_t route_pos = 0;
   int path_id = -1;  // which multipath member was sampled (stats/debug)
 

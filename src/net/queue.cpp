@@ -29,8 +29,7 @@ bool DropTailQueue::enqueue(Packet&& pkt) {
 
 std::optional<Packet> DropTailQueue::dequeue() {
   if (q_.empty()) return std::nullopt;
-  Packet pkt = std::move(q_.front());
-  q_.pop_front();
+  Packet pkt = q_.pop_front();
   bytes_ -= pkt.size_bytes;
   ++stats_.dequeued;
   return pkt;
@@ -65,8 +64,7 @@ bool PriorityQueue::enqueue(Packet&& pkt) {
 std::optional<Packet> PriorityQueue::dequeue() {
   for (auto& q : bands_) {
     if (!q.empty()) {
-      Packet pkt = std::move(q.front());
-      q.pop_front();
+      Packet pkt = q.pop_front();
       bytes_ -= pkt.size_bytes;
       ++stats_.dequeued;
       return pkt;
@@ -133,8 +131,7 @@ bool RedQueue::enqueue(Packet&& pkt) {
 
 std::optional<Packet> RedQueue::dequeue() {
   if (q_.empty()) return std::nullopt;
-  Packet pkt = std::move(q_.front());
-  q_.pop_front();
+  Packet pkt = q_.pop_front();
   bytes_ -= pkt.size_bytes;
   ++stats_.dequeued;
   return pkt;

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -16,6 +15,7 @@
 
 #include "net/packet.hpp"
 #include "sim/random.hpp"
+#include "util/ring_deque.hpp"
 
 namespace tcppr::net {
 
@@ -60,7 +60,7 @@ class DropTailQueue final : public Queue {
   std::size_t limit_;
   std::uint64_t limit_bytes_;
   std::uint64_t bytes_ = 0;
-  std::deque<Packet> q_;
+  util::RingDeque<Packet> q_;
 };
 
 // Strict-priority bands (band 0 served first). The classifier maps each
@@ -82,7 +82,7 @@ class PriorityQueue final : public Queue {
   std::size_t limit_per_band_;
   Classifier classifier_;
   std::uint64_t bytes_ = 0;
-  std::vector<std::deque<Packet>> bands_;
+  std::vector<util::RingDeque<Packet>> bands_;
 };
 
 // Random Early Detection (Floyd & Jacobson 1993), gentle mode.
@@ -112,7 +112,7 @@ class RedQueue final : public Queue {
   double avg_ = 0;
   int count_since_drop_ = -1;
   std::uint64_t bytes_ = 0;
-  std::deque<Packet> q_;
+  util::RingDeque<Packet> q_;
 };
 
 }  // namespace tcppr::net

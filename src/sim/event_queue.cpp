@@ -1,16 +1,139 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
+#include <new>
 
 #include "util/check.hpp"
 
 namespace tcppr::sim {
 
-std::optional<QueuedEvent> BinaryHeapQueue::pop_min() {
-  if (heap_.empty()) return std::nullopt;
-  QueuedEvent top = heap_.top();
-  heap_.pop();
+HeapQueue::~HeapQueue() {
+  ::operator delete(keys_, std::align_val_t{64});
+  ::operator delete(aux_, std::align_val_t{64});
+}
+
+void HeapQueue::grow() {
+  const std::size_t new_capacity = capacity_ == 0 ? 1024 : capacity_ * 2;
+  auto* new_keys = static_cast<std::int64_t*>(::operator new(
+      (new_capacity + kPad) * sizeof(std::int64_t), std::align_val_t{64}));
+  auto* new_aux = static_cast<Aux*>(::operator new(
+      (new_capacity + kPad) * sizeof(Aux), std::align_val_t{64}));
+  if (count_ > 0) {
+    std::memcpy(new_keys + kPad, keys_ + head_ + kPad,
+                count_ * sizeof(std::int64_t));
+    std::memcpy(new_aux + kPad, aux_ + head_ + kPad, count_ * sizeof(Aux));
+  }
+  head_ = 0;
+  ::operator delete(keys_, std::align_val_t{64});
+  ::operator delete(aux_, std::align_val_t{64});
+  keys_ = new_keys;
+  aux_ = new_aux;
+  capacity_ = new_capacity;
+}
+
+void HeapQueue::compact() {
+  if (head_ == 0) return;
+  std::memmove(keys_ + kPad, keys_ + head_ + kPad,
+               count_ * sizeof(std::int64_t));
+  std::memmove(aux_ + kPad, aux_ + head_ + kPad, count_ * sizeof(Aux));
+  head_ = 0;
+}
+
+void HeapQueue::push(const QueuedEvent& event) {
+  if (head_ + count_ == capacity_) {
+    // Out of room at the tail: reclaim the popped prefix first, grow only
+    // when the live range really fills the buffer.
+    if (head_ > 0) {
+      compact();
+    } else {
+      grow();
+    }
+  }
+  const std::int64_t key = event.time.as_nanos();
+  if (sorted_) {
+    const std::size_t back = head_ + count_ - 1 + kPad;
+    const bool in_order =
+        count_ == 0 || key > keys_[back] ||
+        (key == keys_[back] && event.seq >= aux_[back].seq);
+    if (in_order) {
+      const std::size_t tail = head_ + count_ + kPad;
+      keys_[tail] = key;
+      aux_[tail] = Aux{event.seq, event.id};
+      ++count_;
+      return;
+    }
+    // First out-of-order push: the live range is sorted ascending, which
+    // is already a valid min-heap once re-rooted at logical 0.
+    compact();
+    sorted_ = false;
+  }
+  // Sift up with a hole: shift parents down, place the event once.
+  std::size_t n = count_++;
+  while (n > 0) {
+    const std::size_t pp = (n - 1) / kArity + kPad;
+    const bool below_parent =
+        key < keys_[pp] || (key == keys_[pp] && event.seq < aux_[pp].seq);
+    if (!below_parent) break;
+    keys_[n + kPad] = keys_[pp];
+    aux_[n + kPad] = aux_[pp];
+    n = pp - kPad;
+  }
+  keys_[n + kPad] = key;
+  aux_[n + kPad] = Aux{event.seq, event.id};
+}
+
+std::optional<QueuedEvent> HeapQueue::pop_min() {
+  if (count_ == 0) return std::nullopt;
+  if (sorted_) {
+    const std::size_t root = head_ + kPad;
+    const QueuedEvent top{TimePoint::from_nanos(keys_[root]), aux_[root].seq,
+                          aux_[root].id};
+    ++head_;
+    if (--count_ == 0) head_ = 0;
+    return top;
+  }
+  const QueuedEvent top{TimePoint::from_nanos(keys_[kPad]), aux_[kPad].seq,
+                        aux_[kPad].id};
+  const std::int64_t last_key = keys_[count_ - 1 + kPad];
+  const Aux last_aux = aux_[count_ - 1 + kPad];
+  --count_;
+  if (count_ == 0) {
+    sorted_ = true;  // drained: the next burst can run flat again
+  } else {
+    // Sift down with a hole: at each level pick the smallest of the (one
+    // cache line of) children, move it up if it beats `last`, else stop.
+    std::size_t n = 0;
+    for (;;) {
+      const std::size_t first = n * kArity + 1;
+      if (first >= count_) break;
+      if (first * kArity + 1 < count_) {
+        // The grandchildren of n occupy 8 consecutive cache lines starting
+        // at physical 8*(first+1); one of them is the next level's children
+        // block. Prefetching the whole span overlaps the next level's miss
+        // with this level's compare instead of serializing them.
+        const std::size_t gstart = (first + 1) * kArity;
+        for (std::size_t k = 0; k < kArity; ++k) {
+          __builtin_prefetch(&keys_[gstart + k * kArity]);
+        }
+      }
+      const std::size_t end = std::min(first + kArity, count_);
+      std::size_t best = first + kPad;
+      for (std::size_t c = first + 1 + kPad; c < end + kPad; ++c) {
+        if (less(c, best)) best = c;
+      }
+      const bool below_last =
+          keys_[best] < last_key ||
+          (keys_[best] == last_key && aux_[best].seq < last_aux.seq);
+      if (!below_last) break;
+      keys_[n + kPad] = keys_[best];
+      aux_[n + kPad] = aux_[best];
+      n = best - kPad;
+    }
+    keys_[n + kPad] = last_key;
+    aux_[n + kPad] = last_aux;
+  }
   return top;
 }
 
@@ -20,6 +143,14 @@ std::size_t CalendarQueue::bucket_index(TimePoint t) const {
   const std::int64_t ns = std::max<std::int64_t>(t.as_nanos(), 0);
   return static_cast<std::size_t>((ns / width_ns_) %
                                   static_cast<std::int64_t>(buckets_.size()));
+}
+
+void CalendarQueue::seat_cursor(TimePoint t) {
+  const TimePoint seat = std::max(t, TimePoint::origin());
+  current_ = bucket_index(seat);
+  year_start_ns_ = (seat.as_nanos() / width_ns_ -
+                    static_cast<std::int64_t>(current_)) *
+                   width_ns_;
 }
 
 void CalendarQueue::insert(const QueuedEvent& event) {
@@ -37,14 +168,15 @@ void CalendarQueue::push(const QueuedEvent& event) {
   insert(event);
   ++size_;
   if (event.time < last_popped_) {
-    // A push behind the cursor (e.g. a peeked-too-far event returned by
-    // run_until): re-seat the scan so the minimum stays reachable in
-    // order.
     last_popped_ = std::max(event.time, TimePoint::origin());
-    current_ = bucket_index(last_popped_);
-    year_start_ns_ = (last_popped_.as_nanos() / width_ns_ -
-                      static_cast<std::int64_t>(current_)) *
-                     width_ns_;
+  }
+  // A push behind the scan cursor (peek_min advances the cursor without
+  // popping, so this is not covered by the last_popped_ check above):
+  // re-seat the scan so the minimum stays reachable in order.
+  const std::int64_t cursor_ns =
+      year_start_ns_ + static_cast<std::int64_t>(current_) * width_ns_;
+  if (event.time.as_nanos() < cursor_ns) {
+    seat_cursor(event.time);
   }
   if (size_ > 2 * buckets_.size() && buckets_.size() < (1u << 20)) {
     resize(buckets_.size() * 2);
@@ -80,15 +212,11 @@ void CalendarQueue::resize(std::size_t new_bucket_count) {
   for (const QueuedEvent& e : all) insert(e);
   // Reset the cursor to the bucket of the next event to pop.
   last_popped_ = std::max(last_popped_, TimePoint::origin());
-  current_ = bucket_index(last_popped_);
-  year_start_ns_ =
-      (last_popped_.as_nanos() / width_ns_ -
-       static_cast<std::int64_t>(current_)) *
-      width_ns_;
+  seat_cursor(last_popped_);
 }
 
-std::optional<QueuedEvent> CalendarQueue::pop_min() {
-  if (size_ == 0) return std::nullopt;
+std::vector<QueuedEvent>* CalendarQueue::find_min_bucket() {
+  if (size_ == 0) return nullptr;
 
   // Scan buckets from the cursor; an event belongs to the current pass
   // when it falls inside this bucket's slice of the current year.
@@ -99,14 +227,7 @@ std::optional<QueuedEvent> CalendarQueue::pop_min() {
         year_start_ns_ +
         (static_cast<std::int64_t>(current_) + 1) * width_ns_;
     if (!bucket.empty() && bucket.back().time.as_nanos() < slice_end) {
-      QueuedEvent event = bucket.back();
-      bucket.pop_back();
-      --size_;
-      last_popped_ = event.time;
-      if (size_ < buckets_.size() / 4 && buckets_.size() > 16) {
-        resize(buckets_.size() / 2);
-      }
-      return event;
+      return &bucket;
     }
     ++current_;
     if (current_ == n) {
@@ -125,17 +246,33 @@ std::optional<QueuedEvent> CalendarQueue::pop_min() {
     }
   }
   TCPPR_CHECK(min_event != nullptr);
-  QueuedEvent event = *min_event;
-  // Remove it.
-  auto& bucket = buckets_[bucket_index(event.time)];
-  bucket.pop_back();
+  // Re-seat the cursor at the minimum's bucket/year; its bucket's back()
+  // is the minimum (buckets are sorted descending).
+  seat_cursor(min_event->time);
+  return &buckets_[bucket_index(min_event->time)];
+}
+
+std::optional<QueuedEvent> CalendarQueue::peek_min() {
+  const auto* bucket = find_min_bucket();
+  if (bucket == nullptr) return std::nullopt;
+  return bucket->back();
+}
+
+void CalendarQueue::clear() {
+  for (auto& bucket : buckets_) bucket.clear();
+  size_ = 0;
+}
+
+std::optional<QueuedEvent> CalendarQueue::pop_min() {
+  auto* bucket = find_min_bucket();
+  if (bucket == nullptr) return std::nullopt;
+  QueuedEvent event = bucket->back();
+  bucket->pop_back();
   --size_;
   last_popped_ = event.time;
-  // Re-seat the cursor at the popped event's bucket/year.
-  current_ = bucket_index(event.time);
-  year_start_ns_ = (event.time.as_nanos() / width_ns_ -
-                    static_cast<std::int64_t>(current_)) *
-                   width_ns_;
+  if (size_ < buckets_.size() / 4 && buckets_.size() > 16) {
+    resize(buckets_.size() / 2);
+  }
   return event;
 }
 

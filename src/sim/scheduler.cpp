@@ -1,5 +1,6 @@
 #include "sim/scheduler.hpp"
 
+#include <new>
 #include <utility>
 
 #include "util/check.hpp"
@@ -9,7 +10,7 @@ namespace tcppr::sim {
 Scheduler::Scheduler(SchedulerBackend backend) {
   switch (backend) {
     case SchedulerBackend::kBinaryHeap:
-      queue_ = std::make_unique<BinaryHeapQueue>();
+      queue_ = std::make_unique<HeapQueue>();
       break;
     case SchedulerBackend::kCalendarQueue:
       queue_ = std::make_unique<CalendarQueue>();
@@ -18,64 +19,104 @@ Scheduler::Scheduler(SchedulerBackend backend) {
   TCPPR_CHECK(queue_ != nullptr);
 }
 
-EventId Scheduler::schedule_at(TimePoint t, Callback cb) {
-  TCPPR_CHECK(t >= now_);
-  TCPPR_CHECK(cb != nullptr);
-  const std::uint64_t id = next_id_++;
-  queue_->push(QueuedEvent{t, next_seq_++, id});
-  live_.emplace(id, std::move(cb));
-  return EventId{id};
-}
-
-EventId Scheduler::schedule_in(Duration d, Callback cb) {
-  TCPPR_CHECK(d >= Duration::zero());
-  return schedule_at(now_ + d, std::move(cb));
-}
-
-bool Scheduler::cancel(EventId id) { return live_.erase(id.value) > 0; }
-
-bool Scheduler::is_pending(EventId id) const {
-  return live_.contains(id.value);
-}
-
-bool Scheduler::pop_next(QueuedEvent& out) {
-  while (auto event = queue_->pop_min()) {
-    if (live_.contains(event->id)) {
-      out = *event;
-      return true;
-    }
+Scheduler::~Scheduler() {
+  for (std::uint32_t i = 0; i < slot_count_; ++i) slot(i).~Slot();
+  for (Slot* chunk : chunks_) {
+    ::operator delete(chunk, std::align_val_t{64});
   }
-  return false;
+}
+
+std::uint32_t Scheduler::acquire_slot(TimePoint t) {
+  TCPPR_CHECK(t >= now_);
+  std::uint32_t index;
+  if (free_head_ != kFreeListEnd) {
+    index = free_head_;
+    free_head_ = slot(index).next_free;
+  } else {
+    TCPPR_CHECK(slot_count_ < kFreeListEnd);
+    if (slot_count_ == chunks_.size() * kChunkSlots) {
+      chunks_.push_back(static_cast<Slot*>(::operator new(
+          sizeof(Slot) * kChunkSlots, std::align_val_t{64})));
+    }
+    index = slot_count_++;
+    ::new (static_cast<void*>(&slot(index))) Slot();
+  }
+  return index;
+}
+
+TimePoint Scheduler::delay_to_time(Duration d) const {
+  TCPPR_CHECK(d >= Duration::zero());
+  return now_ + d;
+}
+
+void Scheduler::release_slot(std::uint32_t index) {
+  Slot& s = slot(index);
+  s.cb.reset();
+  if (++s.generation == 0) s.generation = 1;  // keep packed ids non-zero
+  s.next_free = free_head_;
+  free_head_ = index;
+  --live_count_;
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!is_live(id.value)) return false;
+  release_slot(slot_of(id.value));
+  return true;
+}
+
+bool Scheduler::is_pending(EventId id) const { return is_live(id.value); }
+
+void Scheduler::fire(const QueuedEvent& event) {
+  const std::uint32_t index = slot_of(event.id);
+  Slot& s = slot(index);
+  // Invalidate outstanding ids before invoking, but keep the slot off the
+  // free list until the callback returns: chunk addresses are stable, so
+  // the callback runs in place, and new events it schedules can never be
+  // handed this slot while it executes.
+  if (++s.generation == 0) s.generation = 1;
+  --live_count_;
+  ++processed_;
+  now_ = event.time;
+  s.cb();
+  s.cb.reset();
+  s.next_free = free_head_;
+  free_head_ = index;
 }
 
 void Scheduler::run() {
   stopped_ = false;
-  QueuedEvent e;
-  while (!stopped_ && pop_next(e)) {
-    now_ = e.time;
-    auto it = live_.find(e.id);
-    Callback cb = std::move(it->second);
-    live_.erase(it);
-    ++processed_;
-    cb();
+  while (!stopped_) {
+    if (live_count_ == 0) {
+      // Everything still queued is a cancelled stale; popping each one
+      // through the sift machinery would be wasted work.
+      queue_->clear();
+      break;
+    }
+    const auto event = queue_->pop_min();
+    if (!event) break;
+    if (!is_live(event->id)) continue;  // cancelled: stale queue entry
+    fire(*event);
   }
 }
 
 void Scheduler::run_until(TimePoint deadline) {
   stopped_ = false;
-  QueuedEvent e;
-  while (!stopped_ && pop_next(e)) {
-    if (e.time > deadline) {
-      // Too far: put it back (it keeps its original insertion order key).
-      queue_->push(e);
+  while (!stopped_) {
+    if (live_count_ == 0) {
+      queue_->clear();
       break;
     }
-    now_ = e.time;
-    auto it = live_.find(e.id);
-    Callback cb = std::move(it->second);
-    live_.erase(it);
-    ++processed_;
-    cb();
+    const auto next = queue_->peek_min();
+    if (!next) break;
+    if (!is_live(next->id)) {
+      // Cancelled: drop the stale entry even when it lies past the
+      // deadline; peeking it again every window would be wasted work.
+      queue_->pop_min();
+      continue;
+    }
+    if (next->time > deadline) break;  // stays queued — peek, don't pop
+    const auto event = queue_->pop_min();
+    fire(*event);
   }
   if (now_ < deadline) now_ = deadline;
 }

@@ -72,6 +72,9 @@ class TimePoint {
   static constexpr TimePoint from_seconds(double s) {
     return TimePoint(static_cast<std::int64_t>(s * 1e9));
   }
+  static constexpr TimePoint from_nanos(std::int64_t ns) {
+    return TimePoint(ns);
+  }
   static constexpr TimePoint max() {
     return TimePoint(std::numeric_limits<std::int64_t>::max());
   }

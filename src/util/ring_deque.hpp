@@ -1,0 +1,107 @@
+// Growable ring buffer with deque semantics (push_back / pop_front).
+//
+// std::deque allocates and frees a ~512-byte segment every couple of
+// pushes once the element is packet-sized, which keeps a steady-state
+// router queue churning the allocator. RingDeque stores elements in one
+// circular buffer that only grows (doubling, elements relocated by move),
+// so a queue that has reached its working depth never allocates again.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace tcppr::util {
+
+template <typename T>
+class RingDeque {
+ public:
+  RingDeque() = default;
+  RingDeque(const RingDeque&) = delete;
+  RingDeque& operator=(const RingDeque&) = delete;
+
+  ~RingDeque() {
+    clear();
+    ::operator delete(storage_, std::align_val_t{alignof(T)});
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& front() {
+    TCPPR_DCHECK(size_ > 0);
+    return slot(head_);
+  }
+  const T& front() const {
+    TCPPR_DCHECK(size_ > 0);
+    return slot(head_);
+  }
+
+  // Element i positions from the front (0 == front).
+  T& operator[](std::size_t i) {
+    TCPPR_DCHECK(i < size_);
+    return slot(index(head_ + i));
+  }
+  const T& operator[](std::size_t i) const {
+    TCPPR_DCHECK(i < size_);
+    return slot(index(head_ + i));
+  }
+
+  void push_back(T&& value) {
+    if (size_ == capacity_) grow();
+    ::new (static_cast<void*>(&slot(index(head_ + size_))))
+        T(std::move(value));
+    ++size_;
+  }
+
+  T pop_front() {
+    TCPPR_DCHECK(size_ > 0);
+    T& s = slot(head_);
+    T value = std::move(s);
+    s.~T();
+    head_ = index(head_ + 1);
+    --size_;
+    return value;
+  }
+
+  void clear() {
+    while (size_ > 0) {
+      slot(head_).~T();
+      head_ = index(head_ + 1);
+      --size_;
+    }
+    head_ = 0;
+  }
+
+ private:
+  std::size_t index(std::size_t i) const {
+    return i & (capacity_ - 1);  // capacity is a power of two
+  }
+  T& slot(std::size_t i) { return storage_[i]; }
+  const T& slot(std::size_t i) const { return storage_[i]; }
+
+  void grow() {
+    const std::size_t new_capacity = capacity_ == 0 ? 8 : capacity_ * 2;
+    T* fresh = static_cast<T*>(::operator new(new_capacity * sizeof(T),
+                                              std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      T& s = slot(index(head_ + i));
+      ::new (static_cast<void*>(&fresh[i])) T(std::move(s));
+      s.~T();
+    }
+    ::operator delete(storage_, std::align_val_t{alignof(T)});
+    storage_ = fresh;
+    capacity_ = new_capacity;
+    head_ = 0;
+  }
+
+  T* storage_ = nullptr;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace tcppr::util

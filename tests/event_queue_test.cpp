@@ -66,12 +66,61 @@ TEST(CalendarQueue, GrowsAndShrinksWithLoad) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+TEST(HeapQueue, MonotonePushesStayInSortedRun) {
+  // Nondecreasing (time, seq) pushes keep the array a flat sorted run —
+  // the O(1) append fast path — and pops stream from the front without
+  // leaving the mode.
+  HeapQueue q;
+  EXPECT_TRUE(q.in_sorted_run());
+  for (int i = 0; i < 100; ++i) q.push(ev(i * 0.001, static_cast<std::uint64_t>(i)));
+  EXPECT_TRUE(q.in_sorted_run());
+  q.push(ev(0.099, 200));  // equal time, later seq: still in order
+  EXPECT_TRUE(q.in_sorted_run());
+  EXPECT_EQ(q.pop_min()->seq, 0u);
+  EXPECT_EQ(q.pop_min()->seq, 1u);
+  EXPECT_TRUE(q.in_sorted_run());
+  EXPECT_EQ(q.size(), 99u);
+}
+
+TEST(HeapQueue, OutOfOrderPushLeavesSortedRunAndReentersWhenDrained) {
+  HeapQueue q;
+  for (int i = 0; i < 10; ++i) {
+    q.push(ev(1.0 + i, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_TRUE(q.in_sorted_run());
+  q.push(ev(0.5, 100));  // earlier than the tail: exits sorted mode
+  EXPECT_FALSE(q.in_sorted_run());
+  EXPECT_EQ(q.pop_min()->seq, 100u);  // heap mode still pops in time order
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(q.pop_min()->seq, i);
+  EXPECT_FALSE(q.pop_min().has_value());
+  EXPECT_TRUE(q.in_sorted_run());  // drained: back on the fast path
+  q.push(ev(2.0, 200));
+  q.push(ev(1.0, 201));  // exercises the exit again after re-entry
+  EXPECT_FALSE(q.in_sorted_run());
+  EXPECT_EQ(q.pop_min()->seq, 201u);
+  EXPECT_EQ(q.pop_min()->seq, 200u);
+}
+
+TEST(HeapQueue, ClearEmptiesAndRestoresSortedMode) {
+  HeapQueue q;
+  for (int i = 10; i > 0; --i) {
+    q.push(ev(i, static_cast<std::uint64_t>(10 - i)));  // descending: heap mode
+  }
+  EXPECT_FALSE(q.in_sorted_run());
+  q.clear();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.in_sorted_run());
+  EXPECT_FALSE(q.pop_min().has_value());
+  q.push(ev(1.0, 1));
+  EXPECT_EQ(q.pop_min()->seq, 1u);
+}
+
 TEST(CalendarQueue, RandomizedEquivalenceWithBinaryHeap) {
   // Interleaved pushes and pops with random times: both backends must
   // produce the identical pop sequence.
   Rng rng(12345);
   for (int round = 0; round < 5; ++round) {
-    BinaryHeapQueue heap;
+    HeapQueue heap;
     CalendarQueue calendar;
     std::uint64_t seq = 0;
     double clock = 0;

@@ -122,7 +122,7 @@ TEST(MultipathSelector, RouteExcludesSource) {
   MultipathSelector sel(two_paths(), 500.0, sim::Rng(1));
   const auto choice = sel.choose_route(3);
   ASSERT_TRUE(choice.has_value());
-  EXPECT_EQ(choice->route, (std::vector<net::NodeId>{1, 3}));
+  EXPECT_EQ(choice->route, (net::RouteVec{1, 3}));
 }
 
 TEST(MultipathSelector, PicksAreCounted) {

@@ -55,6 +55,15 @@ class Model {
     }
     return order;
   }
+  // Tags of all live (unfired, uncancelled) events.
+  std::vector<int> live_tags() const {
+    std::vector<int> tags;
+    for (const auto& e : events_) {
+      if (!e.cancelled && !fired_.count(e.tag)) tags.push_back(e.tag);
+    }
+    return tags;
+  }
+  std::size_t live_count() const { return live_tags().size(); }
 
  private:
   std::vector<ModelEvent> events_;
@@ -77,7 +86,7 @@ TEST_P(SchedulerFuzz, MatchesReferenceModel) {
 
   for (int op = 0; op < 3000; ++op) {
     const double u = rng.uniform();
-    if (u < 0.55) {
+    if (u < 0.50) {
       // Schedule at a random future time (clustered near the clock).
       const std::int64_t delta =
           static_cast<std::int64_t>(rng.uniform(0, 5e7));  // up to 50 ms
@@ -87,14 +96,39 @@ TEST_P(SchedulerFuzz, MatchesReferenceModel) {
                                           Duration::nanos(t),
                                       [&fired, tag] { fired.push_back(tag); }));
       model.schedule(t, tag);
-    } else if (u < 0.75 && next_tag > 0) {
+    } else if (u < 0.55) {
+      // Monotone burst: a run of nondecreasing times, the pattern the heap
+      // backend's sorted-append fast path targets; the next random
+      // schedule/cancel exercises the exit back to heap mode.
+      std::int64_t t = clock_ns;
+      const int burst = 1 + static_cast<int>(rng.uniform_int(30));
+      for (int i = 0; i < burst; ++i) {
+        t += static_cast<std::int64_t>(rng.uniform(0, 1e6));  // up to 1 ms
+        const int tag = next_tag++;
+        ids.push_back(sched.schedule_at(
+            TimePoint::origin() + Duration::nanos(t),
+            [&fired, tag] { fired.push_back(tag); }));
+        model.schedule(t, tag);
+      }
+    } else if (u < 0.72 && next_tag > 0) {
       // Cancel a random tag (may already be fired/cancelled; both sides
-      // must agree on whether the cancel "took").
+      // must agree on whether the cancel "took"), then re-check the stale
+      // id: a successful cancel must leave it dead even after slot reuse.
       const int tag = static_cast<int>(rng.uniform_int(
           static_cast<std::uint64_t>(next_tag)));
       const bool a = sched.cancel(ids[static_cast<std::size_t>(tag)]);
       const bool b = model.cancel(tag);
       ASSERT_EQ(a, b) << "cancel divergence on tag " << tag << " op " << op;
+      ASSERT_FALSE(sched.is_pending(ids[static_cast<std::size_t>(tag)]));
+      ASSERT_FALSE(sched.cancel(ids[static_cast<std::size_t>(tag)]));
+    } else if (u < 0.745 && next_tag > 0) {
+      // Cancel-sweep: kill every live event so the next run hits the
+      // dead-queue fast path (live_count == 0 with stales still queued).
+      for (const int tag : model.live_tags()) {
+        ASSERT_TRUE(sched.cancel(ids[static_cast<std::size_t>(tag)]));
+        ASSERT_TRUE(model.cancel(tag));
+      }
+      ASSERT_EQ(sched.pending_count(), 0u);
     } else {
       // Advance time and fire.
       clock_ns += static_cast<std::int64_t>(rng.uniform(0, 2e7));
@@ -106,6 +140,7 @@ TEST_P(SchedulerFuzz, MatchesReferenceModel) {
         ASSERT_EQ(fired[before + i], expected[i]) << "op " << op;
       }
     }
+    ASSERT_EQ(sched.pending_count(), model.live_count()) << "op " << op;
   }
   // Drain and compare the tail.
   const std::size_t before = fired.size();

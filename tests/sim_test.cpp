@@ -166,6 +166,109 @@ TEST(Scheduler, RunUntilLeavesLaterEvents) {
   EXPECT_DOUBLE_EQ(sched.now().as_seconds(), 10.0);
 }
 
+TEST(Scheduler, RunUntilAlternatingWindowsBothBackends) {
+  // Regression for run_until popping past the deadline: the loop must peek
+  // before popping so an event beyond the window stays queued and fires in
+  // a later window — on both backends (the old pop-then-reinsert scheme
+  // broke FIFO tie order on the calendar queue).
+  for (const auto backend : {SchedulerBackend::kBinaryHeap,
+                             SchedulerBackend::kCalendarQueue}) {
+    Scheduler sched(backend);
+    std::vector<int> fired;
+    for (int i = 1; i <= 8; ++i) {
+      sched.schedule_at(TimePoint::from_seconds(i),
+                        [&fired, i] { fired.push_back(i); });
+    }
+    sched.run_until(TimePoint::from_seconds(0.5));  // window before any event
+    EXPECT_TRUE(fired.empty());
+    EXPECT_EQ(sched.pending_count(), 8u);
+    sched.run_until(TimePoint::from_seconds(2.5));
+    EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+    sched.run_until(TimePoint::from_seconds(2.75));  // empty window
+    EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+    sched.run_until(TimePoint::from_seconds(6));  // deadline is inclusive
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+    sched.run_until(TimePoint::from_seconds(100));
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+    EXPECT_EQ(sched.pending_count(), 0u);
+    EXPECT_DOUBLE_EQ(sched.now().as_seconds(), 100.0);
+  }
+}
+
+TEST(Scheduler, RunUntilWithInterleavedCancels) {
+  // Cancelling events that lie beyond the current window must neither fire
+  // them later nor disturb the survivors' order.
+  for (const auto backend : {SchedulerBackend::kBinaryHeap,
+                             SchedulerBackend::kCalendarQueue}) {
+    Scheduler sched(backend);
+    std::vector<int> fired;
+    std::vector<EventId> ids;
+    for (int i = 1; i <= 6; ++i) {
+      ids.push_back(sched.schedule_at(TimePoint::from_seconds(i),
+                                      [&fired, i] { fired.push_back(i); }));
+    }
+    sched.cancel(ids[3]);  // t=4, beyond the first window
+    sched.run_until(TimePoint::from_seconds(2.5));
+    EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+    sched.cancel(ids[4]);  // t=5
+    sched.run_until(TimePoint::from_seconds(10));
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 6}));
+  }
+}
+
+TEST(Scheduler, StaleIdAcrossSlotReuseIsRejected) {
+  Scheduler sched;
+  bool first_ran = false;
+  bool second_ran = false;
+  const EventId a =
+      sched.schedule_at(TimePoint::from_seconds(1), [&] { first_ran = true; });
+  EXPECT_TRUE(sched.cancel(a));
+  // The freed slot is handed to the next event (LIFO free list); the stale
+  // id must not alias the new occupant.
+  const EventId b =
+      sched.schedule_at(TimePoint::from_seconds(2), [&] { second_ran = true; });
+  EXPECT_EQ(static_cast<std::uint32_t>(a.value),
+            static_cast<std::uint32_t>(b.value));  // same slot...
+  EXPECT_NE(a.value, b.value);                     // ...new generation
+  EXPECT_FALSE(sched.is_pending(a));
+  EXPECT_FALSE(sched.cancel(a));  // must not cancel the new occupant
+  EXPECT_TRUE(sched.is_pending(b));
+  sched.run();
+  EXPECT_FALSE(first_ran);
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(Scheduler, StaleIdAfterFireIsRejected) {
+  Scheduler sched;
+  int ran = 0;
+  const EventId a =
+      sched.schedule_at(TimePoint::from_seconds(1), [&] { ++ran; });
+  sched.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(sched.is_pending(a));
+  // A later event reuses the fired slot; the old id must not cancel it.
+  sched.schedule_at(TimePoint::from_seconds(2), [&] { ++ran; });
+  EXPECT_FALSE(sched.cancel(a));
+  sched.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Scheduler, ManyReusesKeepIdsUnique) {
+  // Hammer one slot through schedule/cancel cycles; every id must be
+  // distinct and only the latest one live.
+  Scheduler sched;
+  EventId prev{};
+  for (int i = 0; i < 1000; ++i) {
+    const EventId id = sched.schedule_at(TimePoint::from_seconds(1), [] {});
+    EXPECT_NE(id, prev);
+    EXPECT_FALSE(sched.is_pending(prev));
+    EXPECT_TRUE(sched.is_pending(id));
+    EXPECT_TRUE(sched.cancel(id));
+    prev = id;
+  }
+  EXPECT_EQ(sched.pending_count(), 0u);
+}
+
 TEST(Scheduler, EventsMayScheduleMoreEvents) {
   Scheduler sched;
   int depth = 0;

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Run the engine micro-benchmarks and record before/after numbers.
+
+Runs bench/micro_engine (google-benchmark) from a Release build, compares
+each benchmark against a recorded baseline, and writes BENCH_engine.json at
+the repository root:
+
+    {"context": {...}, "benchmarks": {name: {baseline_ns, after_ns, speedup}}}
+
+The default baseline is embedded below: it was measured on the seed build
+(pre optimization — binary-heap-of-24-byte-nodes event queue, shared_ptr
+control blocks per event, heap-allocated SACK/route vectors, std::deque
+link queues) so speedups track the zero-allocation hot-path work. Pass
+--baseline FILE (google-benchmark JSON) to compare against a different run,
+e.g. one captured with:
+
+    ./build/bench/micro_engine --benchmark_format=json > baseline.json
+
+Usage:
+    python3 tools/bench_engine.py [--build-dir build] [--out BENCH_engine.json]
+                                  [--baseline FILE] [--filter REGEX]
+                                  [--repetitions N]
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Seed-build numbers (ns), recorded on the reference box (1-core Xeon
+# 2.1 GHz, g++ 12.2, -O3). Benchmarks added together with the optimization
+# work have no seed counterpart and appear with baseline_ns = null.
+EMBEDDED_BASELINE_NS = {
+    "BM_SchedulerScheduleRun/1000": 112467.26,
+    "BM_SchedulerScheduleRun/100000": 20501445.56,
+    "BM_SchedulerCancel": 975522.31,
+    "BM_DumbbellSimulation/4": 47030444.80,
+    "BM_DumbbellSimulation/16": 54253765.85,
+}
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def to_ns(value, unit):
+    return value * TIME_UNIT_NS[unit]
+
+
+def load_benchmark_json(raw):
+    """Extracts {name: real_time_ns} plus the context block."""
+    times = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+            continue
+        name = b.get("run_name", b["name"])
+        times[name] = to_ns(b["real_time"], b["time_unit"])
+    return raw.get("context", {}), times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory (default: build)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_engine.json"),
+                        help="output path (default: BENCH_engine.json at repo root)")
+    parser.add_argument("--baseline", default=None,
+                        help="google-benchmark JSON to use as the baseline "
+                             "(default: embedded seed-build numbers)")
+    parser.add_argument("--filter", default=None,
+                        help="--benchmark_filter regex passed through")
+    parser.add_argument("--repetitions", type=int, default=0,
+                        help="--benchmark_repetitions (median is kept)")
+    args = parser.parse_args()
+
+    if args.baseline and not pathlib.Path(args.baseline).exists():
+        sys.exit(f"error: baseline file {args.baseline} not found")
+
+    binary = (REPO_ROOT / args.build_dir / "bench" / "micro_engine")
+    if not binary.exists():
+        sys.exit(f"error: {binary} not found — build with "
+                 f"cmake -S . -B {args.build_dir} -DCMAKE_BUILD_TYPE=Release "
+                 f"&& cmake --build {args.build_dir} --target micro_engine")
+
+    cmd = [str(binary), "--benchmark_format=json"]
+    if args.filter:
+        cmd.append(f"--benchmark_filter={args.filter}")
+    if args.repetitions > 1:
+        cmd.append(f"--benchmark_repetitions={args.repetitions}")
+        cmd.append("--benchmark_report_aggregates_only=true")
+    print(f"running: {' '.join(cmd)}", file=sys.stderr)
+    run = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    context, after = load_benchmark_json(json.loads(run.stdout))
+
+    if args.baseline:
+        with open(args.baseline) as f:
+            _, baseline = load_benchmark_json(json.load(f))
+        baseline_source = args.baseline
+    else:
+        baseline = dict(EMBEDDED_BASELINE_NS)
+        baseline_source = "embedded seed-build measurements"
+
+    benchmarks = {}
+    for name, after_ns in after.items():
+        base_ns = baseline.get(name)
+        benchmarks[name] = {
+            "baseline_ns": round(base_ns, 2) if base_ns is not None else None,
+            "after_ns": round(after_ns, 2),
+            "speedup": round(base_ns / after_ns, 2) if base_ns else None,
+        }
+
+    report = {
+        "generated_by": "tools/bench_engine.py",
+        "baseline_source": baseline_source,
+        "context": {k: context.get(k) for k in
+                    ("date", "num_cpus", "mhz_per_cpu", "library_build_type")},
+        "benchmarks": benchmarks,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}", file=sys.stderr)
+
+    width = max(len(n) for n in benchmarks)
+    for name, row in benchmarks.items():
+        speed = f"{row['speedup']:.2f}x" if row["speedup"] else "  new"
+        print(f"{name:<{width}}  {speed:>7}  "
+              f"{row['after_ns'] / 1e6:10.3f} ms after")
+
+
+if __name__ == "__main__":
+    main()
