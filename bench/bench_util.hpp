@@ -1,11 +1,16 @@
-// Shared helpers for the figure-reproduction harnesses: flag parsing and
-// aligned table printing.
+// Shared helpers for the figure-reproduction harnesses: flag parsing,
+// aligned table printing, and per-cell time-series capture (src/obs).
 #pragma once
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "harness/scenarios.hpp"
+#include "obs/registry.hpp"
+#include "obs/series.hpp"
 
 namespace tcppr::bench {
 
@@ -15,6 +20,8 @@ struct Options {
   bool ablate_snapshot = false;  // fig6 ablation switch
   bool extended = false;         // fig6: include the extension variants
   int jobs = 1;                  // worker threads for independent cells
+  std::string ts_out;            // time-series output stem ("" = disabled)
+  double ts_interval_s = 0.1;    // queue sampling interval
 
   static Options parse(int argc, char** argv) {
     Options opts;
@@ -30,15 +37,63 @@ struct Options {
         opts.ablate_snapshot = true;
       } else if (std::strcmp(argv[i], "--extended") == 0) {
         opts.extended = true;
+      } else if (std::strcmp(argv[i], "--ts-out") == 0 && i + 1 < argc) {
+        opts.ts_out = argv[++i];
+      } else if (std::strcmp(argv[i], "--ts-interval") == 0 && i + 1 < argc) {
+        opts.ts_interval_s = std::strtod(argv[++i], nullptr);
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
             "flags: --quick (reduced sweep)  --seed N  --jobs N (parallel "
-            "cells)  --ablate-snapshot  --extended\n");
+            "cells)  --ablate-snapshot  --extended  --ts-out FILE "
+            "(per-cell time series; cell tag spliced before the extension)  "
+            "--ts-interval S\n");
       }
     }
     return opts;
   }
 };
+
+// One cell's observability attachment: the registry plus the file sink it
+// writes through. Must outlive the scenario run it is attached to.
+struct SeriesCapture {
+  obs::MetricRegistry registry;
+  std::unique_ptr<obs::SeriesSink> sink;
+};
+
+// Splices `tag` into opts.ts_out before the extension: ("fig2.csv",
+// "dumbbell_n4") -> "fig2_dumbbell_n4.csv". Cells run in parallel, so each
+// needs its own file.
+inline std::string series_path_for_cell(const Options& opts,
+                                        const std::string& tag) {
+  const std::size_t dot = opts.ts_out.find_last_of('.');
+  if (dot == std::string::npos || dot == 0) return opts.ts_out + "_" + tag;
+  return opts.ts_out.substr(0, dot) + "_" + tag + opts.ts_out.substr(dot);
+}
+
+// When --ts-out is set, attaches a time-series capture to `scenario`
+// writing `<stem>_<tag><ext>` (NDJSON when the extension is .ndjson, CSV
+// otherwise) and returns it; returns nullptr when capture is disabled.
+inline std::unique_ptr<SeriesCapture> attach_series_capture(
+    harness::Scenario& scenario, const Options& opts, const std::string& tag) {
+  if (opts.ts_out.empty()) return nullptr;
+  auto capture = std::make_unique<SeriesCapture>();
+  const std::string path = series_path_for_cell(opts, tag);
+  const bool ndjson =
+      path.size() > 7 && path.rfind(".ndjson") == path.size() - 7;
+  if (ndjson) {
+    capture->sink = std::make_unique<obs::NdjsonSink>(path);
+  } else {
+    capture->sink = std::make_unique<obs::CsvSeriesSink>(path);
+  }
+  if (!capture->sink->ok()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return nullptr;
+  }
+  capture->registry.add_sink(capture->sink.get());
+  scenario.attach_observability(capture->registry,
+                                sim::Duration::seconds(opts.ts_interval_s));
+  return capture;
+}
 
 inline void print_rule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');

@@ -56,6 +56,8 @@ int main(int argc, char** argv) {
     dumbbell.pr.alpha = 0.995;
     dumbbell.pr.beta = 3.0;
     auto scenario = harness::make_dumbbell(dumbbell);
+    const auto capture = bench::attach_series_capture(
+        *scenario, opts, "dumbbell_n" + std::to_string(n));
     report("dumbbell", n, run_scenario(*scenario, window()));
   }
   for (const int n : counts) {
@@ -66,6 +68,8 @@ int main(int argc, char** argv) {
     lot.pr.alpha = 0.995;
     lot.pr.beta = 3.0;
     auto scenario = harness::make_parking_lot(lot);
+    const auto capture = bench::attach_series_capture(
+        *scenario, opts, "parkinglot_n" + std::to_string(n));
     report("parking-lot", n, run_scenario(*scenario, window()));
   }
   bench::print_rule();

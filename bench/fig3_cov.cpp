@@ -76,6 +76,10 @@ int main(int argc, char** argv) {
           config.chain_bw_bps = cell.bw_mbps * 1e6;
           config.seed = opts.seed + 97 * cell.seed_index;
           auto scenario = harness::make_parking_lot(config);
+          const auto capture = bench::attach_series_capture(
+              *scenario, opts,
+              "parkinglot_bw" + std::to_string(cell.bw_mbps) + "_s" +
+                  std::to_string(cell.seed_index));
           result = run_scenario(*scenario, window());
         } else {
           harness::DumbbellConfig config;
@@ -84,6 +88,10 @@ int main(int argc, char** argv) {
           config.bottleneck_bw_bps = cell.bw_mbps * 1e6;
           config.seed = opts.seed + 97 * cell.seed_index;
           auto scenario = harness::make_dumbbell(config);
+          const auto capture = bench::attach_series_capture(
+              *scenario, opts,
+              "dumbbell_bw" + std::to_string(cell.bw_mbps) + "_s" +
+                  std::to_string(cell.seed_index));
           result = run_scenario(*scenario, window());
         }
         cell.loss_percent = 100.0 * result.loss_rate;

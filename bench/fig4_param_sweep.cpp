@@ -70,6 +70,10 @@ int main(int argc, char** argv) {
           config.pr.beta = cell.beta;
           config.seed = opts.seed;
           auto scenario = harness::make_parking_lot(config);
+          const auto capture = bench::attach_series_capture(
+              *scenario, opts,
+              "parkinglot_a" + std::to_string(cell.alpha) + "_b" +
+                  std::to_string(cell.beta));
           result = run_scenario(*scenario, window());
         } else {
           harness::DumbbellConfig config;
@@ -79,6 +83,10 @@ int main(int argc, char** argv) {
           config.pr.beta = cell.beta;
           config.seed = opts.seed;
           auto scenario = harness::make_dumbbell(config);
+          const auto capture = bench::attach_series_capture(
+              *scenario, opts,
+              "dumbbell_a" + std::to_string(cell.alpha) + "_b" +
+                  std::to_string(cell.beta));
           result = run_scenario(*scenario, window());
         }
         cell.sack_mean_normalized = result.mean_normalized(TcpVariant::kSack);

@@ -92,8 +92,16 @@ int main(int argc, char** argv) {
         config.link_delay = sim::Duration::millis(cell.delay_ms);
         if (cell.ablate) config.pr.ablate_halve_current_cwnd = true;
         config.seed = opts.seed;
-        const auto result =
-            run_multipath_cell(config, window(cell.delay_ms, opts.quick));
+        std::unique_ptr<bench::SeriesCapture> capture;
+        const auto result = run_multipath_cell(
+            config, window(cell.delay_ms, opts.quick),
+            [&](harness::Scenario& scenario) {
+              char tag[64];
+              std::snprintf(tag, sizeof(tag), "d%.0f_%s_eps%.0f%s",
+                            cell.delay_ms, to_string(cell.variant),
+                            cell.epsilon, cell.ablate ? "_ablate" : "");
+              capture = bench::attach_series_capture(scenario, opts, tag);
+            });
         cell.goodput_mbps = result.goodput_bps / 1e6;
       });
 

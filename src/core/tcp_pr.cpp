@@ -167,6 +167,7 @@ void TcpPrSender::handle_drop(SeqNo seq) {
   to_be_sent_rtx_.insert(seq);
   TCPPR_LOG_DEBUG("tcp-pr", "flow %d drop detected seq %lld", flow(),
                   static_cast<long long>(seq));
+  if (probe_) probe_.drop_declared(now());
 
   if (in_backoff_) {
     // §3.2: while cwnd == 1 after an extreme-loss reset, further drops
@@ -224,6 +225,7 @@ void TcpPrSender::handle_drop(SeqNo seq) {
     ssthr_ = cwnd_;
     mode_ = Mode::kCongestionAvoidance;
     ++stats_.cwnd_halvings;
+    if (probe_) probe_.ssthresh(now(), ssthr_);
     notify_cwnd(cwnd_);
   } else {
     // Part of an already-handled burst: no further halving, but count it
@@ -266,12 +268,28 @@ void TcpPrSender::enter_extreme_loss(SeqNo seq) {
   to_be_ack_.clear();
   send_order_.clear();
   memorize_.clear();
+  // The reset forgets the loss episode wholesale, and the per-segment drop
+  // counts with it: every outstanding segment goes back to the to-be-sent
+  // side, so a drop of its *next* transmission is a fresh event, not
+  // attempt N of this episode. Keeping the counts would let two separate
+  // episodes accumulate toward extreme_loss_rtx_drops and spuriously
+  // re-trigger the backoff right after recovery. Closing the recovery
+  // window (recover_point_) matches: NewReno leaves fast recovery on a
+  // coarse timeout, and a stale open episode would otherwise defer drop
+  // declarations for segments whose counts were just erased.
+  drop_counts_.clear();
+  recover_point_ = stats_.segments_acked;
   cburst_ = 0;
   dup_credits_ = 0;
   in_backoff_ = true;
   backoff_mxrtt_s_ = std::max(pr_.extreme_loss_floor.as_seconds(),
                               pr_.beta * ewrtt_s_);
   send_blocked_until_ = now() + mxrtt();
+  if (probe_) {
+    probe_.extreme_loss(now());
+    probe_.backoff(now(), true);
+    probe_.mxrtt(now(), mxrtt().as_seconds());
+  }
   notify_cwnd(cwnd_);
 }
 
@@ -305,6 +323,7 @@ void TcpPrSender::on_ack_packet(const net::Packet& ack) {
     // reached the receiver — worth one window credit.
     if (pr_.dupack_window_credit && !to_be_ack_.empty()) {
       ++dup_credits_;
+      if (probe_) probe_.dup_credits(now(), dup_credits_);
       flush_cwnd();
     }
     return;
@@ -327,6 +346,7 @@ void TcpPrSender::on_ack_packet(const net::Packet& ack) {
     in_backoff_ = false;
     backoff_mxrtt_s_ = 0;
     send_blocked_until_ = now();
+    if (probe_) probe_.backoff(now(), false);
   }
 
   note_progress(a);
@@ -344,6 +364,15 @@ void TcpPrSender::on_ack_packet(const net::Packet& ack) {
   }
   cwnd_ = std::min(cwnd_, config_.max_cwnd);
   notify_cwnd(cwnd_);
+
+  if (probe_) {
+    // One estimator snapshot per ACK: the cwnd/ewrtt/mxrtt time series the
+    // paper's figures are drawn from.
+    probe_.ewrtt(now(), ewrtt_s_);
+    probe_.mxrtt(now(), mxrtt().as_seconds());
+    probe_.outstanding(now(), to_be_ack_.size());
+    probe_.dup_credits(now(), dup_credits_);
+  }
 
   flush_cwnd();
 }

@@ -84,9 +84,11 @@ RunResult run_scenario(Scenario& scenario, const MeasurementWindow& window) {
   return result;
 }
 
-MultipathCell run_multipath_cell(const MultipathConfig& config,
-                                 const MeasurementWindow& window) {
+MultipathCell run_multipath_cell(
+    const MultipathConfig& config, const MeasurementWindow& window,
+    const std::function<void(Scenario&)>& on_built) {
   auto scenario = make_multipath(config);
+  if (on_built) on_built(*scenario);
   const RunResult run = run_scenario(*scenario, window);
   TCPPR_CHECK(run.flows.size() == 1);
   MultipathCell cell;

@@ -4,6 +4,7 @@
 // throughput, mean normalized throughput per protocol, CoV).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -58,7 +59,11 @@ struct MultipathCell {
   std::uint64_t spurious = 0;
   double loss_rate = 0;
 };
-MultipathCell run_multipath_cell(const MultipathConfig& config,
-                                 const MeasurementWindow& window);
+// `on_built` (optional) runs after the scenario is constructed and before
+// the simulation starts — the hook for attach_observability and trace
+// sinks, which must outlive the run.
+MultipathCell run_multipath_cell(
+    const MultipathConfig& config, const MeasurementWindow& window,
+    const std::function<void(Scenario&)>& on_built = nullptr);
 
 }  // namespace tcppr::harness

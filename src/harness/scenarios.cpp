@@ -133,6 +133,17 @@ void Scenario::add_cross_flow(net::NodeId src, net::NodeId dst,
   sched.schedule_at(start, [sender] { sender->start(); });
 }
 
+void Scenario::attach_observability(obs::MetricRegistry& registry,
+                                    sim::Duration queue_interval) {
+  for (auto& sender : senders) sender->set_metric_registry(registry);
+  for (auto& receiver : receivers) receiver->set_metric_registry(registry);
+  for (net::Link* link : bottlenecks) {
+    queue_probes.push_back(std::make_unique<obs::QueueProbe>(
+        sched, registry, *link, queue_interval));
+    queue_probes.back()->start();
+  }
+}
+
 double Scenario::bottleneck_loss_rate() const {
   std::uint64_t dropped = 0;
   std::uint64_t offered = 0;

@@ -12,6 +12,8 @@
 #include "app/sources.hpp"
 #include "core/tcp_pr.hpp"
 #include "net/network.hpp"
+#include "obs/probe.hpp"
+#include "obs/registry.hpp"
 #include "routing/multipath.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/receiver.hpp"
@@ -68,6 +70,9 @@ struct Scenario {
   // Links whose queues define the loss rate of the experiment.
   std::vector<net::Link*> bottlenecks;
 
+  // Periodic queue samplers created by attach_observability (src/obs).
+  std::vector<std::unique_ptr<obs::QueueProbe>> queue_probes;
+
   // Adds a measured flow and schedules its start.
   void add_flow(TcpVariant variant, net::NodeId src, net::NodeId dst,
                 net::FlowId flow, const tcp::TcpConfig& tcp_config,
@@ -77,6 +82,15 @@ struct Scenario {
                       const tcp::TcpConfig& tcp_config, sim::TimePoint start);
   // Aggregate loss fraction over the bottleneck queues.
   double bottleneck_loss_rate() const;
+
+  // Attaches the flow-state observability layer: every measured sender and
+  // receiver samples into `registry`, and each bottleneck queue is polled
+  // every `queue_interval`. Call after the scenario is built (flows added)
+  // and before sched.run*(). Without this call the simulation pays only the
+  // disabled-probe branch per event.
+  void attach_observability(
+      obs::MetricRegistry& registry,
+      sim::Duration queue_interval = sim::Duration::millis(100));
 };
 
 struct DumbbellConfig {

@@ -22,6 +22,7 @@ Link::Link(sim::Scheduler& sched, NodeId from, NodeId to, double bandwidth_bps,
   TCPPR_CHECK(bandwidth_bps_ > 0);
   TCPPR_CHECK(prop_delay_ >= sim::Duration::zero());
   TCPPR_CHECK(queue_ != nullptr);
+  queue_->set_time_source(&sched_, bandwidth_bps_);
 }
 
 void Link::set_loss_model(double loss_rate, sim::Rng rng) {

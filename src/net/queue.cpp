@@ -1,8 +1,10 @@
 #include "net/queue.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "sim/scheduler.hpp"
 #include "util/check.hpp"
 
 namespace tcppr::net {
@@ -32,6 +34,7 @@ std::optional<Packet> DropTailQueue::dequeue() {
   Packet pkt = q_.pop_front();
   bytes_ -= pkt.size_bytes;
   ++stats_.dequeued;
+  stats_.bytes_dequeued += pkt.size_bytes;
   return pkt;
 }
 
@@ -39,7 +42,8 @@ PriorityQueue::PriorityQueue(int bands, std::size_t limit_per_band,
                              Classifier classifier)
     : limit_per_band_(limit_per_band),
       classifier_(std::move(classifier)),
-      bands_(static_cast<std::size_t>(bands)) {
+      bands_(static_cast<std::size_t>(bands)),
+      band_stats_(static_cast<std::size_t>(bands)) {
   TCPPR_CHECK(bands > 0);
   TCPPR_CHECK(limit_per_band_ > 0);
   TCPPR_CHECK(classifier_ != nullptr);
@@ -49,24 +53,34 @@ bool PriorityQueue::enqueue(Packet&& pkt) {
   const int band = classifier_(pkt);
   TCPPR_CHECK(band >= 0 && band < static_cast<int>(bands_.size()));
   auto& q = bands_[static_cast<std::size_t>(band)];
+  QueueStats& bs = band_stats_[static_cast<std::size_t>(band)];
   if (q.size() >= limit_per_band_) {
     ++stats_.dropped;
     stats_.bytes_dropped += pkt.size_bytes;
+    ++bs.dropped;
+    bs.bytes_dropped += pkt.size_bytes;
     return false;
   }
   ++stats_.enqueued;
   stats_.bytes_enqueued += pkt.size_bytes;
+  ++bs.enqueued;
+  bs.bytes_enqueued += pkt.size_bytes;
   bytes_ += pkt.size_bytes;
   q.push_back(std::move(pkt));
   return true;
 }
 
 std::optional<Packet> PriorityQueue::dequeue() {
-  for (auto& q : bands_) {
+  for (std::size_t band = 0; band < bands_.size(); ++band) {
+    auto& q = bands_[band];
     if (!q.empty()) {
       Packet pkt = q.pop_front();
       bytes_ -= pkt.size_bytes;
       ++stats_.dequeued;
+      stats_.bytes_dequeued += pkt.size_bytes;
+      QueueStats& bs = band_stats_[band];
+      ++bs.dequeued;
+      bs.bytes_dequeued += pkt.size_bytes;
       return pkt;
     }
   }
@@ -84,6 +98,11 @@ std::size_t PriorityQueue::band_length(int band) const {
   return bands_[static_cast<std::size_t>(band)].size();
 }
 
+const QueueStats& PriorityQueue::band_stats(int band) const {
+  TCPPR_CHECK(band >= 0 && band < static_cast<int>(band_stats_.size()));
+  return band_stats_[static_cast<std::size_t>(band)];
+}
+
 RedQueue::RedQueue(Params params, sim::Rng rng)
     : params_(params), rng_(rng) {
   TCPPR_CHECK(params_.limit_packets > 0);
@@ -92,7 +111,29 @@ RedQueue::RedQueue(Params params, sim::Rng rng)
   TCPPR_CHECK(params_.weight > 0 && params_.weight <= 1);
 }
 
+void RedQueue::set_time_source(const sim::Scheduler* sched,
+                               double bandwidth_bps) {
+  sched_ = sched;
+  bandwidth_bps_ = bandwidth_bps;
+  if (sched_ != nullptr && q_.empty()) {
+    idle_ = true;
+    idle_since_ = sched_->now();
+  }
+}
+
 bool RedQueue::enqueue(Packet&& pkt) {
+  if (idle_ && sched_ != nullptr) {
+    // Floyd/Jacobson idle adjustment: decay the average by (1-w)^m, where
+    // m estimates how many (small) packets the link could have transmitted
+    // while the queue sat empty. Without this the average frozen at the
+    // end of the previous busy period early-drops the next burst.
+    const double idle_s = (sched_->now() - idle_since_).as_seconds();
+    const double pkt_s = params_.idle_pkt_bytes * 8.0 / bandwidth_bps_;
+    if (idle_s > 0 && pkt_s > 0) {
+      avg_ *= std::pow(1.0 - params_.weight, idle_s / pkt_s);
+    }
+    idle_ = false;
+  }
   avg_ = (1 - params_.weight) * avg_ +
          params_.weight * static_cast<double>(q_.size());
 
@@ -134,6 +175,11 @@ std::optional<Packet> RedQueue::dequeue() {
   Packet pkt = q_.pop_front();
   bytes_ -= pkt.size_bytes;
   ++stats_.dequeued;
+  stats_.bytes_dequeued += pkt.size_bytes;
+  if (q_.empty() && sched_ != nullptr) {
+    idle_ = true;
+    idle_since_ = sched_->now();
+  }
   return pkt;
 }
 

@@ -15,7 +15,12 @@
 
 #include "net/packet.hpp"
 #include "sim/random.hpp"
+#include "sim/time.hpp"
 #include "util/ring_deque.hpp"
+
+namespace tcppr::sim {
+class Scheduler;
+}
 
 namespace tcppr::net {
 
@@ -24,6 +29,7 @@ struct QueueStats {
   std::uint64_t dequeued = 0;
   std::uint64_t dropped = 0;
   std::uint64_t bytes_enqueued = 0;
+  std::uint64_t bytes_dequeued = 0;
   std::uint64_t bytes_dropped = 0;
 };
 
@@ -36,6 +42,15 @@ class Queue {
   virtual std::optional<Packet> dequeue() = 0;
   virtual std::size_t length_packets() const = 0;
   virtual std::uint64_t length_bytes() const = 0;
+
+  // Wired by the owning Link: gives time-aware disciplines (RED's idle-
+  // period decay) the simulation clock and the drain rate of the link they
+  // serve. Standalone queues (tests) work without it.
+  virtual void set_time_source(const sim::Scheduler* sched,
+                               double bandwidth_bps) {
+    (void)sched;
+    (void)bandwidth_bps;
+  }
 
   const QueueStats& stats() const { return stats_; }
 
@@ -77,12 +92,16 @@ class PriorityQueue final : public Queue {
   std::size_t length_packets() const override;
   std::uint64_t length_bytes() const override { return bytes_; }
   std::size_t band_length(int band) const;
+  // Per-band attribution of the aggregate stats (drops in particular:
+  // which band rejected the packet).
+  const QueueStats& band_stats(int band) const;
 
  private:
   std::size_t limit_per_band_;
   Classifier classifier_;
   std::uint64_t bytes_ = 0;
   std::vector<util::RingDeque<Packet>> bands_;
+  std::vector<QueueStats> band_stats_;
 };
 
 // Random Early Detection (Floyd & Jacobson 1993), gentle mode.
@@ -96,6 +115,9 @@ class RedQueue final : public Queue {
     double max_thresh = 15;    // packets
     double max_p = 0.1;        // drop probability at max_thresh
     double weight = 0.002;     // EWMA weight for the average queue
+    // Packet size assumed for the idle-period adjustment (the RED paper's
+    // "typical transmission time" for a small packet).
+    double idle_pkt_bytes = 500;
   };
 
   RedQueue(Params params, sim::Rng rng);
@@ -104,6 +126,8 @@ class RedQueue final : public Queue {
   std::optional<Packet> dequeue() override;
   std::size_t length_packets() const override { return q_.size(); }
   std::uint64_t length_bytes() const override { return bytes_; }
+  void set_time_source(const sim::Scheduler* sched,
+                       double bandwidth_bps) override;
   double average_queue() const { return avg_; }
 
  private:
@@ -112,6 +136,15 @@ class RedQueue final : public Queue {
   double avg_ = 0;
   int count_since_drop_ = -1;
   std::uint64_t bytes_ = 0;
+  // Idle-period bookkeeping (Floyd & Jacobson §4 / ns-2 REDQueue): while
+  // the queue sits empty the average must keep decaying as if empty
+  // samples arrived at the link's drain rate, otherwise a stale average
+  // early-drops the first burst after an idle spell. Requires a time
+  // source; without one the (pre-fix) pure-EWMA behaviour is kept.
+  const sim::Scheduler* sched_ = nullptr;
+  double bandwidth_bps_ = 0;
+  bool idle_ = false;
+  sim::TimePoint idle_since_;
   util::RingDeque<Packet> q_;
 };
 

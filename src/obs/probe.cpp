@@ -1,0 +1,46 @@
+#include "obs/probe.hpp"
+
+#include "net/link.hpp"
+#include "util/check.hpp"
+
+namespace tcppr::obs {
+
+QueueProbe::QueueProbe(sim::Scheduler& sched, MetricRegistry& registry,
+                       const net::Link& link, sim::Duration interval,
+                       std::string label)
+    : sched_(sched),
+      reg_(registry),
+      link_(link),
+      interval_(interval),
+      label_(std::move(label)),
+      timer_(sched) {
+  TCPPR_CHECK(interval_ > sim::Duration::zero());
+  if (label_.empty()) {
+    label_ = std::to_string(link_.from()) + "->" + std::to_string(link_.to());
+  }
+  pkts_ = reg_.intern("queue.pkts[" + label_ + "]", MetricKind::kGauge);
+  bytes_ = reg_.intern("queue.bytes[" + label_ + "]", MetricKind::kGauge);
+  drops_ = reg_.intern("queue.drops[" + label_ + "]", MetricKind::kGauge);
+  bytes_out_ =
+      reg_.intern("queue.bytes_dequeued[" + label_ + "]", MetricKind::kGauge);
+}
+
+void QueueProbe::start() {
+  tick();
+}
+
+void QueueProbe::tick() {
+  const sim::TimePoint now = sched_.now();
+  const net::Queue& q = link_.queue();
+  reg_.set(now, pkts_, net::kInvalidFlow,
+           static_cast<double>(q.length_packets()));
+  reg_.set(now, bytes_, net::kInvalidFlow,
+           static_cast<double>(q.length_bytes()));
+  reg_.set(now, drops_, net::kInvalidFlow,
+           static_cast<double>(q.stats().dropped));
+  reg_.set(now, bytes_out_, net::kInvalidFlow,
+           static_cast<double>(q.stats().bytes_dequeued));
+  timer_.schedule_in(interval_, [this] { tick(); });
+}
+
+}  // namespace tcppr::obs

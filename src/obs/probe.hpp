@@ -1,0 +1,119 @@
+// Probe handles that connect protocol endpoints and link queues to a
+// MetricRegistry.
+//
+// FlowProbe is a value-type handle held by every sender/receiver. Default-
+// constructed it is disabled; call sites guard each emission with
+// `if (probe_)`, so an uninstrumented run pays exactly one predictable
+// branch per probed event (the same discipline as trace::Tracer::active()).
+//
+// QueueProbe periodically samples one link's queue occupancy (packets and
+// bytes) plus its cumulative drop/throughput counters, driven by the
+// scheduler. It exists only when observability is attached, so the
+// uninstrumented simulation schedules nothing.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+#include "sim/scheduler.hpp"
+
+namespace tcppr::net {
+class Link;
+}
+
+namespace tcppr::obs {
+
+class FlowProbe {
+ public:
+  FlowProbe() = default;
+  FlowProbe(MetricRegistry& registry, net::FlowId flow)
+      : reg_(&registry), flow_(flow), m_(registry.flow_metrics()) {}
+
+  // True when samples would actually be recorded. Emission methods assume
+  // the caller checked this first.
+  explicit operator bool() const { return reg_ != nullptr && reg_->active(); }
+
+  net::FlowId flow() const { return flow_; }
+
+  // Gauges.
+  void cwnd(sim::TimePoint t, double v) const { reg_->set(t, m_.cwnd, flow_, v); }
+  void ssthresh(sim::TimePoint t, double v) const {
+    reg_->set(t, m_.ssthresh, flow_, v);
+  }
+  void ewrtt(sim::TimePoint t, double seconds) const {
+    reg_->set(t, m_.ewrtt, flow_, seconds);
+  }
+  void mxrtt(sim::TimePoint t, double seconds) const {
+    reg_->set(t, m_.mxrtt, flow_, seconds);
+  }
+  void rto(sim::TimePoint t, double seconds) const {
+    reg_->set(t, m_.rto, flow_, seconds);
+  }
+  void outstanding(sim::TimePoint t, std::size_t n) const {
+    reg_->set(t, m_.outstanding, flow_, static_cast<double>(n));
+  }
+  void dup_credits(sim::TimePoint t, int n) const {
+    reg_->set(t, m_.dup_credits, flow_, n);
+  }
+  void backoff(sim::TimePoint t, bool in_backoff) const {
+    reg_->set(t, m_.backoff, flow_, in_backoff ? 1.0 : 0.0);
+  }
+  void rcv_next(sim::TimePoint t, double v) const {
+    reg_->set(t, m_.rcv_next, flow_, v);
+  }
+  void ooo_buffered(sim::TimePoint t, std::size_t n) const {
+    reg_->set(t, m_.ooo_buffered, flow_, static_cast<double>(n));
+  }
+
+  // Counters.
+  void drop_declared(sim::TimePoint t) const {
+    reg_->add(t, m_.drops_declared, flow_);
+  }
+  void retransmission(sim::TimePoint t) const {
+    reg_->add(t, m_.retransmissions, flow_);
+  }
+  void extreme_loss(sim::TimePoint t) const {
+    reg_->add(t, m_.extreme_loss, flow_);
+  }
+  void out_of_order(sim::TimePoint t) const {
+    reg_->add(t, m_.out_of_order, flow_);
+  }
+
+ private:
+  MetricRegistry* reg_ = nullptr;
+  net::FlowId flow_ = net::kInvalidFlow;
+  FlowMetrics m_;
+};
+
+// Samples one link queue every `interval`: occupancy in packets and bytes
+// (gauges) plus cumulative drops and dequeued bytes (counters exported as
+// monotone gauges, enabling byte-accurate utilization readouts between any
+// two sample points). Metric names carry the queue identity, e.g.
+// "queue.pkts[1->2]".
+class QueueProbe {
+ public:
+  QueueProbe(sim::Scheduler& sched, MetricRegistry& registry,
+             const net::Link& link, sim::Duration interval,
+             std::string label = {});
+
+  // Samples immediately, then every interval until stop().
+  void start();
+  void stop() { timer_.cancel(); }
+  const std::string& label() const { return label_; }
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  MetricRegistry& reg_;
+  const net::Link& link_;
+  sim::Duration interval_;
+  std::string label_;
+  MetricId pkts_;
+  MetricId bytes_;
+  MetricId drops_;
+  MetricId bytes_out_;
+  sim::Timer timer_;
+};
+
+}  // namespace tcppr::obs

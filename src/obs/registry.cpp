@@ -1,0 +1,100 @@
+#include "obs/registry.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace tcppr::obs {
+
+MetricId MetricRegistry::intern(std::string_view name, MetricKind kind) {
+  TCPPR_CHECK(!name.empty());
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    TCPPR_CHECK(kinds_[it->second] == kind);
+    return it->second;
+  }
+  TCPPR_CHECK(names_.size() < std::numeric_limits<MetricId>::max());
+  const MetricId id = static_cast<MetricId>(names_.size());
+  names_.emplace_back(name);
+  kinds_.push_back(kind);
+  by_name_.emplace(names_.back(), id);
+  return id;
+}
+
+const std::string& MetricRegistry::name(MetricId id) const {
+  TCPPR_CHECK(id < names_.size());
+  return names_[id];
+}
+
+MetricKind MetricRegistry::kind(MetricId id) const {
+  TCPPR_CHECK(id < kinds_.size());
+  return kinds_[id];
+}
+
+const FlowMetrics& MetricRegistry::flow_metrics() {
+  if (!flow_metrics_) {
+    FlowMetrics m;
+    m.cwnd = intern("cwnd", MetricKind::kGauge);
+    m.ssthresh = intern("ssthresh", MetricKind::kGauge);
+    m.ewrtt = intern("ewrtt", MetricKind::kGauge);
+    m.mxrtt = intern("mxrtt", MetricKind::kGauge);
+    m.rto = intern("rto", MetricKind::kGauge);
+    m.outstanding = intern("outstanding", MetricKind::kGauge);
+    m.dup_credits = intern("dup_credits", MetricKind::kGauge);
+    m.backoff = intern("backoff", MetricKind::kGauge);
+    m.rcv_next = intern("rcv_next", MetricKind::kGauge);
+    m.ooo_buffered = intern("ooo_buffered", MetricKind::kGauge);
+    m.drops_declared = intern("drops_declared", MetricKind::kCounter);
+    m.retransmissions = intern("retransmissions", MetricKind::kCounter);
+    m.extreme_loss = intern("extreme_loss", MetricKind::kCounter);
+    m.out_of_order = intern("out_of_order", MetricKind::kCounter);
+    flow_metrics_ = m;
+  }
+  return *flow_metrics_;
+}
+
+void MetricRegistry::add_sink(SeriesSink* sink) {
+  TCPPR_CHECK(sink != nullptr);
+  sink->registry_ = this;
+  sinks_.push_back(sink);
+}
+
+void MetricRegistry::emit(sim::TimePoint t, MetricId metric, net::FlowId flow,
+                          double value) {
+  Sample s;
+  s.time = t;
+  s.metric = metric;
+  s.flow = flow;
+  s.value = value;
+  ++samples_;
+  for (SeriesSink* sink : sinks_) sink->record(s);
+}
+
+void MetricRegistry::set(sim::TimePoint t, MetricId metric, net::FlowId flow,
+                         double value) {
+  if (!active()) return;
+  TCPPR_DCHECK(kind(metric) == MetricKind::kGauge);
+  values_[{metric, flow}] = value;
+  emit(t, metric, flow, value);
+}
+
+void MetricRegistry::add(sim::TimePoint t, MetricId metric, net::FlowId flow,
+                         double delta) {
+  if (!active()) return;
+  TCPPR_DCHECK(kind(metric) == MetricKind::kCounter);
+  const double total = (values_[{metric, flow}] += delta);
+  emit(t, metric, flow, total);
+}
+
+std::optional<double> MetricRegistry::last(MetricId metric,
+                                           net::FlowId flow) const {
+  const auto it = values_.find({metric, flow});
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+double MetricRegistry::total(MetricId metric, net::FlowId flow) const {
+  return last(metric, flow).value_or(0.0);
+}
+
+}  // namespace tcppr::obs

@@ -1,0 +1,75 @@
+#include "obs/series.hpp"
+
+#include "obs/registry.hpp"
+#include "util/check.hpp"
+
+namespace tcppr::obs {
+
+std::vector<std::pair<double, double>> MemorySeriesSink::series(
+    std::string_view metric, net::FlowId flow) const {
+  std::vector<std::pair<double, double>> out;
+  if (registry_ == nullptr) return out;
+  for (const Sample& s : samples_) {
+    if (registry_->name(s.metric) != metric) continue;
+    if (flow != net::kInvalidFlow && s.flow != flow) continue;
+    out.emplace_back(s.time.as_seconds(), s.value);
+  }
+  return out;
+}
+
+std::size_t MemorySeriesSink::count(std::string_view metric) const {
+  if (registry_ == nullptr) return 0;
+  std::size_t n = 0;
+  for (const Sample& s : samples_) {
+    if (registry_->name(s.metric) == metric) ++n;
+  }
+  return n;
+}
+
+CsvSeriesSink::CsvSeriesSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+CsvSeriesSink::~CsvSeriesSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvSeriesSink::record(const Sample& sample) {
+  if (file_ == nullptr) return;
+  if (!header_written_) {
+    std::fputs("time,metric,flow,value\n", file_);
+    header_written_ = true;
+  }
+  TCPPR_DCHECK(registry_ != nullptr);  // add_sink sets it
+  // Nanosecond-exact time keeps identical runs byte-identical.
+  std::fprintf(file_, "%.9f,%s,%d,%.10g\n", sample.time.as_seconds(),
+               registry_->name(sample.metric).c_str(), sample.flow,
+               sample.value);
+}
+
+void CsvSeriesSink::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+NdjsonSink::NdjsonSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+NdjsonSink::~NdjsonSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void NdjsonSink::record(const Sample& sample) {
+  if (file_ == nullptr) return;
+  TCPPR_DCHECK(registry_ != nullptr);
+  // Metric names are interned identifiers (no quotes/backslashes), so no
+  // JSON escaping is needed.
+  std::fprintf(file_, "{\"t\":%.9f,\"metric\":\"%s\",\"flow\":%d,\"v\":%.10g}\n",
+               sample.time.as_seconds(),
+               registry_->name(sample.metric).c_str(), sample.flow,
+               sample.value);
+}
+
+void NdjsonSink::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+}  // namespace tcppr::obs

@@ -1,0 +1,109 @@
+// Time-series sample model and export sinks for the flow-state
+// observability layer (src/obs). The packet tracer (src/trace) answers
+// "what happened to packet X"; this layer answers "what did flow Y's
+// estimators do over time" — the cwnd / ewrtt / mxrtt / queue-occupancy
+// series the paper's figures are drawn from.
+//
+// A Sample is one (time, metric, flow-label, value) observation. Metrics
+// are interned by the MetricRegistry (obs/registry.hpp); sinks resolve
+// metric ids back to names through the registry they are attached to.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace tcppr::obs {
+
+class MetricRegistry;
+
+// Small dense id handed out by MetricRegistry::intern.
+using MetricId = std::uint16_t;
+
+enum class MetricKind : std::uint8_t {
+  kGauge,    // instantaneous value (cwnd, queue occupancy, ...)
+  kCounter,  // monotone running total (drops declared, retransmissions, ...)
+};
+
+struct Sample {
+  sim::TimePoint time;
+  MetricId metric = 0;
+  net::FlowId flow = net::kInvalidFlow;  // label; kInvalidFlow = unlabeled
+  double value = 0;
+};
+
+class SeriesSink {
+ public:
+  virtual ~SeriesSink() = default;
+  virtual void record(const Sample& sample) = 0;
+  // File-backed sinks override; in-memory sinks are always ok and flushed.
+  virtual void flush() {}
+  virtual bool ok() const { return true; }
+
+ protected:
+  friend class MetricRegistry;
+  // Set by MetricRegistry::add_sink so record() can resolve metric names.
+  const MetricRegistry* registry_ = nullptr;
+};
+
+// Keeps every sample in memory; query helpers for tests and examples.
+class MemorySeriesSink final : public SeriesSink {
+ public:
+  void record(const Sample& sample) override { samples_.push_back(sample); }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  // The (time_seconds, value) series of one named metric, optionally
+  // restricted to one flow label.
+  std::vector<std::pair<double, double>> series(
+      std::string_view metric, net::FlowId flow = net::kInvalidFlow) const;
+  std::size_t count(std::string_view metric) const;
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+// One CSV row per sample: `time,metric,flow,value` with a header line.
+// Times are printed in fixed nanosecond precision and values with %.10g,
+// so identical runs produce byte-identical files (golden-file testable).
+class CsvSeriesSink final : public SeriesSink {
+ public:
+  explicit CsvSeriesSink(const std::string& path);
+  ~CsvSeriesSink() override;
+
+  CsvSeriesSink(const CsvSeriesSink&) = delete;
+  CsvSeriesSink& operator=(const CsvSeriesSink&) = delete;
+
+  void record(const Sample& sample) override;
+  void flush() override;
+  bool ok() const override { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool header_written_ = false;
+};
+
+// One JSON object per line: {"t":..,"metric":"..","flow":..,"v":..}.
+// Machine-friendly counterpart of the CSV sink (jq / pandas pipelines).
+class NdjsonSink final : public SeriesSink {
+ public:
+  explicit NdjsonSink(const std::string& path);
+  ~NdjsonSink() override;
+
+  NdjsonSink(const NdjsonSink&) = delete;
+  NdjsonSink& operator=(const NdjsonSink&) = delete;
+
+  void record(const Sample& sample) override;
+  void flush() override;
+  bool ok() const override { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace tcppr::obs

@@ -21,6 +21,15 @@ Receiver::Receiver(net::Network& network, net::NodeId local,
 
 Receiver::~Receiver() { network_.node(local_).detach_agent(flow_); }
 
+void Receiver::set_metric_registry(obs::MetricRegistry& registry) {
+  probe_ = obs::FlowProbe(registry, flow_);
+  if (probe_) {
+    const sim::TimePoint t = network_.scheduler().now();
+    probe_.rcv_next(t, static_cast<double>(rcv_next_));
+    probe_.ooo_buffered(t, static_cast<double>(above_.size()));
+  }
+}
+
 void Receiver::deliver(net::Packet&& pkt) {
   if (pkt.type != net::PacketType::kTcpData) return;  // stray ACK etc.
   on_data(pkt);
@@ -72,6 +81,12 @@ void Receiver::on_data(const net::Packet& pkt) {
         std::max(stats_.max_reorder_extent, seq - rcv_next_);
     above_.insert(seq);
     record_sack_block(seq, seq + 1);
+    if (probe_) probe_.out_of_order(network_.scheduler().now());
+  }
+  if (probe_) {
+    const sim::TimePoint t = network_.scheduler().now();
+    probe_.rcv_next(t, static_cast<double>(rcv_next_));
+    probe_.ooo_buffered(t, static_cast<double>(above_.size()));
   }
   stats_.in_order_point = rcv_next_;
   stats_.goodput_bytes =

@@ -12,6 +12,7 @@
 
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "obs/probe.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/types.hpp"
 
@@ -53,6 +54,10 @@ class Receiver final : public net::Agent {
     data_tap_ = std::move(tap);
   }
 
+  // Attaches the flow-state observability layer (src/obs): out-of-order
+  // arrivals and receive-point/buffer gauges sample into `registry`.
+  void set_metric_registry(obs::MetricRegistry& registry);
+
  private:
   void on_data(const net::Packet& pkt);
   void send_ack(const net::Packet& cause, bool force_dup_info);
@@ -77,6 +82,9 @@ class Receiver final : public net::Agent {
   bool has_pending_cause_ = false;
 
   ReceiverStats stats_;
+  // Disabled until set_metric_registry; emissions cost one predictable
+  // branch when observability is off (same discipline as SenderBase).
+  obs::FlowProbe probe_;
   std::function<void(const net::Packet&)> ack_tap_;
   std::function<void(const net::Packet&)> data_tap_;
 };

@@ -23,11 +23,12 @@ void RtoEstimator::add_sample(sim::Duration rtt) {
 void RtoEstimator::back_off() { backoff_ = std::min(backoff_ * 2, 1 << 16); }
 
 sim::Duration RtoEstimator::rto() const {
-  sim::Duration base = params_.initial;
-  if (has_sample_) {
-    base = srtt_ + 4.0 * rttvar_;
-    base = std::max(base, params_.min);
-  }
+  // RFC 6298 ordering: the minimum applies to every computed RTO — the
+  // pre-sample `initial` included, which may be configured (or rounded)
+  // below it — and backoff scales the floored value, so the result can
+  // never sit below `min` no matter the configuration.
+  sim::Duration base = has_sample_ ? srtt_ + 4.0 * rttvar_ : params_.initial;
+  base = std::max(base, params_.min);
   base = base * static_cast<double>(backoff_);
   return std::min(base, params_.max);
 }

@@ -25,6 +25,7 @@ class RtoEstimator {
   void reset_backoff() { backoff_ = 1; }
 
   sim::Duration rto() const;
+  const Params& params() const { return params_; }
   bool has_sample() const { return has_sample_; }
   sim::Duration srtt() const { return srtt_; }
   sim::Duration rttvar() const { return rttvar_; }

@@ -104,6 +104,7 @@ void SackSender::on_ack_packet(const net::Packet& ack) {
       rto_.add_sample(now() - it->second.last_tx);
     }
     rto_.reset_backoff();
+    if (probe_) probe_.rto(now(), rto_.rto().as_seconds());
     advance_una(a);
     on_new_ack_hook(ack);
     if (in_recovery_) {
@@ -139,6 +140,7 @@ void SackSender::on_ack_packet(const net::Packet& ack) {
     enter_recovery();
   }
   send_more();
+  if (probe_) probe_.outstanding(now(), pipe());
 }
 
 void SackSender::advance_una(SeqNo ack) {
@@ -171,6 +173,10 @@ void SackSender::enter_recovery() {
   cwnd_ = ssthresh_;
   // The segment at the ACK point is the presumed loss.
   if (!sacked_.contains(snd_una_)) lost_.insert(snd_una_);
+  if (probe_) {
+    probe_.ssthresh(now(), ssthresh_);
+    probe_.drop_declared(now());
+  }
   notify_cwnd(cwnd_);
 }
 
@@ -189,6 +195,7 @@ void SackSender::undo_last_reduction(bool full_restore) {
   // The loss marks of this episode were wrong; forget them.
   lost_.clear();
   rtx_in_flight_.clear();
+  if (probe_) probe_.ssthresh(now(), ssthresh_);
   notify_cwnd(cwnd_);
 }
 
@@ -256,6 +263,11 @@ void SackSender::on_timeout() {
   highest_sacked_ = -1;
   snd_nxt_ = snd_una_;
   rto_.back_off();
+  if (probe_) {
+    probe_.ssthresh(now(), ssthresh_);
+    probe_.rto(now(), rto_.rto().as_seconds());
+    probe_.drop_declared(now());
+  }
   send_more();
   restart_rto_timer();
   notify_cwnd(cwnd_);

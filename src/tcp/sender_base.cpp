@@ -22,6 +22,11 @@ SenderBase::SenderBase(net::Network& network, net::NodeId local,
 
 SenderBase::~SenderBase() { network_.node(local_).detach_agent(flow_); }
 
+void SenderBase::set_metric_registry(obs::MetricRegistry& registry) {
+  probe_ = obs::FlowProbe(registry, flow_);
+  if (probe_) probe_.cwnd(now(), cwnd());
+}
+
 void SenderBase::set_data_source(std::unique_ptr<DataSource> source) {
   TCPPR_CHECK(!started_);
   TCPPR_CHECK(source != nullptr);
@@ -61,7 +66,10 @@ void SenderBase::transmit_segment(SeqNo seq, bool is_retransmission,
   pkt.sent_at = now();
 
   ++stats_.data_packets_sent;
-  if (is_retransmission) ++stats_.retransmissions;
+  if (is_retransmission) {
+    ++stats_.retransmissions;
+    if (probe_) probe_.retransmission(now());
+  }
   TCPPR_LOG(LogLevel::kTrace, "tcp", "flow %d send seq %lld rtx=%d", flow_,
             static_cast<long long>(seq), is_retransmission ? 1 : 0);
   network_.node(local_).originate(std::move(pkt));
@@ -82,6 +90,7 @@ void SenderBase::note_progress(SeqNo cum_ack) {
 
 void SenderBase::notify_cwnd(double cwnd) {
   if (cwnd_listener_) cwnd_listener_(now(), cwnd);
+  if (probe_) probe_.cwnd(now(), cwnd);
 }
 
 }  // namespace tcppr::tcp

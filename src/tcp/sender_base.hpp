@@ -9,6 +9,7 @@
 
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "obs/probe.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/types.hpp"
 
@@ -67,6 +68,11 @@ class SenderBase : public net::Agent {
     cwnd_listener_ = std::move(fn);
   }
 
+  // Attaches the flow-state observability layer: cwnd/ssthresh/estimator
+  // samples flow into `registry` from now on (src/obs). Emits the current
+  // cwnd immediately so every series starts with a sample.
+  void set_metric_registry(obs::MetricRegistry& registry);
+
   void deliver(net::Packet&& pkt) final;
 
   const SenderStats& stats() const { return stats_; }
@@ -98,6 +104,9 @@ class SenderBase : public net::Agent {
 
   TcpConfig config_;
   SenderStats stats_;
+  // Disabled until set_metric_registry; every emission is guarded by
+  // `if (probe_)`, one predictable branch when observability is off.
+  obs::FlowProbe probe_;
 
  private:
   net::Network& network_;

@@ -95,6 +95,86 @@ TEST(PriorityQueue, EndToEndDiffServReordering) {
   EXPECT_GT(sender.stats().segments_acked, 2000);
 }
 
+TEST(PriorityQueue, PerBandStatsAttributeDropsAndBytes) {
+  PriorityQueue q(2, 2, [](const Packet& p) { return p.tcp.flow; });
+  ASSERT_TRUE(q.enqueue(pkt_of(0, 1, 100)));
+  ASSERT_TRUE(q.enqueue(pkt_of(0, 2, 100)));
+  ASSERT_FALSE(q.enqueue(pkt_of(0, 3, 100)));  // band 0 full
+  ASSERT_TRUE(q.enqueue(pkt_of(1, 4, 300)));
+  EXPECT_EQ(q.band_stats(0).enqueued, 2u);
+  EXPECT_EQ(q.band_stats(0).dropped, 1u);
+  EXPECT_EQ(q.band_stats(0).bytes_dropped, 100u);
+  EXPECT_EQ(q.band_stats(1).enqueued, 1u);
+  EXPECT_EQ(q.band_stats(1).dropped, 0u);
+  EXPECT_EQ(q.band_stats(1).bytes_enqueued, 300u);
+  // Drain: dequeues attribute to the band each packet left from.
+  while (q.dequeue()) {
+  }
+  EXPECT_EQ(q.band_stats(0).dequeued, 2u);
+  EXPECT_EQ(q.band_stats(0).bytes_dequeued, 200u);
+  EXPECT_EQ(q.band_stats(1).dequeued, 1u);
+  EXPECT_EQ(q.band_stats(1).bytes_dequeued, 300u);
+  // Aggregates equal the sum of the bands.
+  EXPECT_EQ(q.stats().dequeued, 3u);
+  EXPECT_EQ(q.stats().bytes_dequeued, 500u);
+  EXPECT_EQ(q.stats().dropped, 1u);
+}
+
+TEST(QueueStats, BytesDequeuedTrackedByAllDisciplines) {
+  DropTailQueue droptail(10);
+  ASSERT_TRUE(droptail.enqueue(pkt_of(1, 1, 120)));
+  ASSERT_TRUE(droptail.enqueue(pkt_of(1, 2, 80)));
+  droptail.dequeue();
+  EXPECT_EQ(droptail.stats().bytes_dequeued, 120u);
+  droptail.dequeue();
+  EXPECT_EQ(droptail.stats().bytes_dequeued, 200u);
+
+  RedQueue red(RedQueue::Params{}, sim::Rng(1));
+  ASSERT_TRUE(red.enqueue(pkt_of(1, 1, 250)));
+  red.dequeue();
+  EXPECT_EQ(red.stats().bytes_dequeued, 250u);
+
+  PriorityQueue prio(2, 10, [](const Packet&) { return 0; });
+  ASSERT_TRUE(prio.enqueue(pkt_of(1, 1, 60)));
+  prio.dequeue();
+  EXPECT_EQ(prio.stats().bytes_dequeued, 60u);
+}
+
+TEST(RedQueue, IdlePeriodDecaysAverage) {
+  // Regression: the EWMA average must keep decaying while the queue sits
+  // empty (Floyd & Jacobson idle adjustment). Before the fix the average
+  // froze at its busy-period value and early-dropped the first burst after
+  // an idle spell.
+  RedQueue::Params params;
+  params.weight = 0.2;  // fast EWMA so a handful of packets moves avg
+  sim::Scheduler sched;
+  RedQueue timed(params, sim::Rng(1));
+  // 8 Mbps drain rate: one 500-byte idle packet every 0.5 ms.
+  timed.set_time_source(&sched, 8e6);
+  RedQueue untimed(params, sim::Rng(1));  // no clock: pre-fix behaviour
+
+  for (SeqNo s = 0; s < 8; ++s) {
+    ASSERT_TRUE(timed.enqueue(pkt_of(1, s)));
+    ASSERT_TRUE(untimed.enqueue(pkt_of(1, s)));
+  }
+  while (timed.dequeue()) {
+  }
+  while (untimed.dequeue()) {
+  }
+  const double avg_busy = timed.average_queue();
+  ASSERT_GT(avg_busy, 2.0);
+  ASSERT_DOUBLE_EQ(untimed.average_queue(), avg_busy);
+
+  // One idle second is 2000 small-packet transmission times; by the next
+  // arrival the average must have decayed to nothing.
+  sched.run_until(sim::TimePoint::from_seconds(1.0));
+  ASSERT_TRUE(timed.enqueue(pkt_of(1, 100)));
+  ASSERT_TRUE(untimed.enqueue(pkt_of(1, 100)));
+  EXPECT_LT(timed.average_queue(), 0.05);
+  // Without a time source the stale average persists.
+  EXPECT_GT(untimed.average_queue(), avg_busy * 0.5);
+}
+
 TEST(Ecmp, SpreadsPacketsAcrossNextHops) {
   // Diamond: 0 -> {1, 2} -> 3 with per-hop ECMP at node 0.
   sim::Scheduler sched;

@@ -67,5 +67,28 @@ TEST(RtoEstimator, MinFloorApplies) {
   EXPECT_EQ(rto.rto().as_nanos(), Duration::seconds(1).as_nanos());
 }
 
+TEST(RtoEstimator, MinFloorAppliesBeforeAnySample) {
+  // Regression: a configured (or rounded) `initial` below `min` must still
+  // be floored — RFC 6298 applies the minimum to every computed RTO, not
+  // only to post-sample ones.
+  RtoEstimator::Params params;
+  params.initial = Duration::millis(200);
+  RtoEstimator rto(params);
+  EXPECT_FALSE(rto.has_sample());
+  EXPECT_EQ(rto.rto().as_nanos(), params.min.as_nanos());
+}
+
+TEST(RtoEstimator, BackoffScalesTheFlooredValue) {
+  // Regression: backoff must multiply the floored RTO, so the result never
+  // dips below min regardless of clamp ordering, and a backed-off cheap
+  // path (tiny srtt) yields 2*min, not 2*(srtt + 4*rttvar).
+  RtoEstimator rto;
+  for (int i = 0; i < 10; ++i) rto.add_sample(Duration::millis(1));
+  rto.back_off();
+  EXPECT_EQ(rto.rto().as_nanos(), (rto.params().min * 2.0).as_nanos());
+  rto.back_off();
+  EXPECT_EQ(rto.rto().as_nanos(), (rto.params().min * 4.0).as_nanos());
+}
+
 }  // namespace
 }  // namespace tcppr::tcp

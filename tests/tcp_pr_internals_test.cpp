@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <memory>
 
 #include "core/tcp_pr.hpp"
@@ -163,6 +164,43 @@ TEST(Observers, ExposeListSizes) {
   EXPECT_EQ(sender->memorize_size(), 0u);      // no losses
   EXPECT_EQ(sender->pending_retransmits(), 0u);
   EXPECT_EQ(sender->burst_drop_count(), 0);
+}
+
+TEST(ExtremeLoss, DropCountsDoNotLeakAcrossEpisodes) {
+  // Regression for the drop-count lifecycle: the §3.2 reset forgets the
+  // episode wholesale, so per-segment drop counts must not survive it.
+  // Before the fix, a segment that lost two transmissions during an
+  // episode kept its count across the reset and needed only one more
+  // declared drop afterwards to spuriously re-enter extreme loss.
+  PathFixture f;
+  tcp::TcpConfig tc;
+  tc.max_cwnd = 20;
+  auto* sender = add_pr(f, tc);
+  sender->start();
+  f.run_for(3);  // warm up: estimator converged, window open
+
+  // Victims picked on the fly: the next new segment `a` and its successor.
+  // `a` loses three transmissions — the extreme-loss trigger. `a + 1`
+  // loses four: two declared (and counted) inside the episode, the fourth
+  // declared after the reset, where it must count as a fresh first drop.
+  SeqNo victim = -1;
+  std::map<SeqNo, int> tx_seen;
+  f.fwd->set_drop_filter([&](const net::Packet& p) {
+    if (p.type != net::PacketType::kTcpData) return false;
+    if (victim < 0 && !p.tcp.is_retransmission) victim = p.tcp.seq;
+    if (p.tcp.seq == victim) return tx_seen[p.tcp.seq]++ < 3;
+    if (victim >= 0 && p.tcp.seq == victim + 1) {
+      return tx_seen[p.tcp.seq]++ < 4;
+    }
+    return false;
+  });
+  f.run_for(12);
+  f.fwd->set_drop_filter(nullptr);
+  f.run_for(3);
+
+  EXPECT_EQ(sender->stats().extreme_loss_events, 1u);
+  EXPECT_FALSE(sender->in_backoff());
+  EXPECT_GT(sender->stats().segments_acked, 3000);
 }
 
 TEST(DropTailBytes, ByteCapDropsIndependentlyOfPacketCap) {

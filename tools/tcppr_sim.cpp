@@ -16,6 +16,8 @@
 #include <string>
 
 #include "harness/experiment.hpp"
+#include "obs/registry.hpp"
+#include "obs/series.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -37,6 +39,8 @@ struct Args {
   double beta = 3.0;
   std::uint64_t seed = 1;
   std::string trace_path;
+  std::string ts_out;
+  double ts_interval_s = 0.1;
 };
 
 std::optional<TcpVariant> parse_variant(const std::string& name) {
@@ -62,7 +66,10 @@ void usage() {
       "  --delay <ms>          link delay override\n"
       "  --alpha <a> --beta <b>  TCP-PR parameters (default 0.995 / 3)\n"
       "  --seed <n>            RNG seed (default 1)\n"
-      "  --trace <file>        write an ns-2-style packet trace\n");
+      "  --trace <file>        write an ns-2-style packet trace\n"
+      "  --ts-out <file>       write flow/queue time series (.ndjson for\n"
+      "                        NDJSON, anything else for CSV)\n"
+      "  --ts-interval <s>     queue sampling interval (default 0.1)\n");
 }
 
 bool parse(int argc, char** argv, Args& args) {
@@ -100,6 +107,10 @@ bool parse(int argc, char** argv, Args& args) {
       args.seed = std::strtoull(next(), nullptr, 10);
     } else if (flag == "--trace") {
       args.trace_path = next();
+    } else if (flag == "--ts-out") {
+      args.ts_out = next();
+    } else if (flag == "--ts-interval") {
+      args.ts_interval_s = std::atof(next());
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
       return false;
@@ -174,6 +185,25 @@ int main(int argc, char** argv) {
     scenario->network.add_trace_sink(trace_file.get());
   }
 
+  obs::MetricRegistry registry;
+  std::unique_ptr<obs::SeriesSink> series_sink;
+  if (!args.ts_out.empty()) {
+    const bool ndjson = args.ts_out.size() > 7 &&
+                        args.ts_out.rfind(".ndjson") == args.ts_out.size() - 7;
+    if (ndjson) {
+      series_sink = std::make_unique<obs::NdjsonSink>(args.ts_out);
+    } else {
+      series_sink = std::make_unique<obs::CsvSeriesSink>(args.ts_out);
+    }
+    if (!series_sink->ok()) {
+      std::fprintf(stderr, "cannot open %s\n", args.ts_out.c_str());
+      return 1;
+    }
+    registry.add_sink(series_sink.get());
+    scenario->attach_observability(
+        registry, sim::Duration::seconds(args.ts_interval_s));
+  }
+
   harness::MeasurementWindow window;
   window.total = sim::Duration::seconds(args.duration_s);
   window.measured = sim::Duration::seconds(args.measured_s);
@@ -209,6 +239,12 @@ int main(int argc, char** argv) {
   if (trace_file) {
     trace_file->flush();
     std::printf("trace written to %s\n", args.trace_path.c_str());
+  }
+  if (series_sink) {
+    series_sink->flush();
+    std::printf("time series written to %s (%llu samples)\n",
+                args.ts_out.c_str(),
+                static_cast<unsigned long long>(registry.samples_recorded()));
   }
   return 0;
 }
