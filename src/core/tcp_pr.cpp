@@ -56,6 +56,39 @@ void TcpPrSender::update_ewrtt(sim::Duration sample) {
 
 void TcpPrSender::on_start() { flush_cwnd(); }
 
+tcp::SenderInvariantView TcpPrSender::invariant_view() const {
+  tcp::SenderInvariantView v;
+  v.valid = true;
+  v.cwnd = cwnd_;
+  v.ssthresh = ssthr_;
+  v.ssthresh_floor = 1.0;  // §3.1 halving floors at one segment
+  v.snd_una = stats_.segments_acked;
+  v.snd_nxt = next_new_;
+  // TCP-PR splits its flight across to_be_ack_/to_be_sent_rtx_; the
+  // cumulative window identity does not apply. Structural consistency is
+  // checked here instead: both sets live inside [snd_una, snd_nxt), are
+  // disjoint, and memorize flags a subset of the outstanding packets.
+  v.window_bookkeeping = false;
+  v.has_rto = false;  // loss detection is mxrtt-based, no RFC 2988 state
+  v.rtx_timer_armed = drop_timer_.pending() || unblock_timer_.pending();
+  v.rtx_timer_needed = !to_be_ack_.empty() || !to_be_sent_rtx_.empty();
+  v.rtx_timer_strict = false;  // the unblock timer may outlive its backoff
+  v.scoreboard_ok = true;
+  for (const auto& [s, unused] : to_be_ack_) {
+    if (s < stats_.segments_acked || s >= next_new_ ||
+        to_be_sent_rtx_.contains(s)) {
+      v.scoreboard_ok = false;
+    }
+  }
+  for (const SeqNo s : to_be_sent_rtx_) {
+    if (s < stats_.segments_acked || s >= next_new_) v.scoreboard_ok = false;
+  }
+  for (const SeqNo s : memorize_) {
+    if (!to_be_ack_.contains(s)) v.scoreboard_ok = false;
+  }
+  return v;
+}
+
 void TcpPrSender::send_one(SeqNo seq) {
   const bool is_rtx = to_be_sent_rtx_.erase(seq) > 0;
   OutstandingInfo info;
@@ -163,6 +196,11 @@ void TcpPrSender::handle_drop(SeqNo seq) {
   const auto it = to_be_ack_.find(seq);
   TCPPR_CHECK(it != to_be_ack_.end());
   const OutstandingInfo info = it->second;
+  // Deadline oracle: a drop may only be declared once the packet has been
+  // outstanding for the full mxrtt envelope (Table 1 drop-detected gate).
+  if (validate_ && now() < info.sent_at + mxrtt()) {
+    ++early_drop_declarations_;
+  }
   to_be_ack_.erase(it);
   to_be_sent_rtx_.insert(seq);
   TCPPR_LOG_DEBUG("tcp-pr", "flow %d drop detected seq %lld", flow(),

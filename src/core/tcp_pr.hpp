@@ -101,6 +101,25 @@ class TcpPrSender final : public tcp::SenderBase {
 
   double cwnd() const override { return cwnd_; }
   const char* algorithm() const override { return "tcp-pr"; }
+  tcp::SenderInvariantView invariant_view() const override;
+
+  // TCP-PR-specific invariants for src/validate: the detection envelope
+  // (mxrtt >= ewrtt) and the drop-declaration deadline oracle.
+  struct PrInvariantView {
+    double mxrtt_s = 0;
+    double ewrtt_s = 0;
+    bool in_backoff = false;
+    // Declarations made before sent_at + mxrtt elapsed. Counted only when
+    // validation is enabled; the checker asserts it stays zero.
+    std::uint64_t early_drop_declarations = 0;
+  };
+  PrInvariantView pr_invariant_view() const {
+    return {mxrtt().as_seconds(), ewrtt_s_, in_backoff_,
+            early_drop_declarations_};
+  }
+  // Arms the in-algorithm deadline oracle (one predictable branch per
+  // declared drop when off — the src/obs discipline).
+  void enable_validation() { validate_ = true; }
 
   enum class Mode { kSlowStart, kCongestionAvoidance };
   Mode mode() const { return mode_; }
@@ -168,6 +187,8 @@ class TcpPrSender final : public tcp::SenderBase {
   std::set<SeqNo> memorize_;  // flagged subset of to_be_ack_ (see Remark 1)
 
   std::uint32_t next_tx_serial_ = 1;
+  bool validate_ = false;
+  std::uint64_t early_drop_declarations_ = 0;
   sim::Timer drop_timer_;
   sim::Timer unblock_timer_;
 };

@@ -31,6 +31,14 @@ void Link::set_loss_model(double loss_rate, sim::Rng rng) {
   loss_rng_ = rng;
 }
 
+void Link::set_bandwidth(double bandwidth_bps) {
+  TCPPR_CHECK(bandwidth_bps > 0);
+  bandwidth_bps_ = bandwidth_bps;
+  // In-progress transmissions keep their already-scheduled completion
+  // time; only future dequeues see the new rate.
+  queue_->set_time_source(&sched_, bandwidth_bps_);
+}
+
 void Link::set_jitter(sim::Duration max_jitter, sim::Rng rng) {
   TCPPR_CHECK(max_jitter >= sim::Duration::zero());
   max_jitter_ = max_jitter;
@@ -79,6 +87,7 @@ void Link::start_transmission() {
     return;
   }
   busy_ = true;
+  ++in_transit_;
   if (tracer_ != nullptr) {
     tracer_->emit(sched_.now(), trace::EventType::kDequeue, *pkt, from_, to_);
   }
@@ -101,6 +110,8 @@ void Link::on_tx_complete(PooledPacket pkt) {
 
   if (loss_rate_ > 0 && loss_rng_.bernoulli(loss_rate_)) {
     ++stats_.lost;
+    ++stats_.loss_model_lost;
+    --in_transit_;
     if (tracer_ != nullptr) {
       tracer_->emit(sched_.now(), trace::EventType::kLossDrop, *pkt, from_,
                     to_);
@@ -117,6 +128,7 @@ void Link::on_tx_complete(PooledPacket pkt) {
   sched_.schedule_in(delivery_delay, [this, p = std::move(pkt)]() mutable {
     ++stats_.delivered;
     stats_.bytes_delivered += p->size_bytes;
+    if (!skip_transit_decrement_) --in_transit_;
     TCPPR_DCHECK(dst_node_ != nullptr);
     dst_node_->receive(std::move(*p));
     // p's release into the pool recycles the packet for the next hop.

@@ -28,7 +28,10 @@ class Node;
 struct LinkStats {
   std::uint64_t delivered = 0;
   std::uint64_t bytes_delivered = 0;
-  std::uint64_t lost = 0;  // loss-model drops (queue drops live in QueueStats)
+  // All link-level drops: entry drops (down link / drop filter) plus
+  // loss-model drops. Queue drops live in QueueStats.
+  std::uint64_t lost = 0;
+  std::uint64_t loss_model_lost = 0;  // subset of `lost`: Bernoulli model only
 };
 
 class Link {
@@ -50,6 +53,9 @@ class Link {
   // Changes the propagation delay for future transmissions (mobility /
   // route-change models).
   void set_prop_delay(sim::Duration delay) { prop_delay_ = delay; }
+  // Changes the drain rate for future transmissions (mid-run capacity
+  // change; the fuzzer uses this to model route/handover bandwidth shifts).
+  void set_bandwidth(double bandwidth_bps);
   // Random corruption loss applied on delivery.
   void set_loss_model(double loss_rate, sim::Rng rng);
   // Per-packet uniform extra delivery delay in [0, max_jitter] (wireless
@@ -80,6 +86,16 @@ class Link {
   std::uint64_t total_drops() const {
     return queue_->stats().dropped + stats_.lost;
   }
+  // Packets dequeued into the transmitter/propagation pipeline and not yet
+  // delivered or loss-dropped. Together with queue lengths this lets the
+  // validation layer account for every packet in flight.
+  std::uint64_t in_transit() const { return in_transit_; }
+  // Test-only mutation knob: stop decrementing the in-transit counter on
+  // delivery, so the conservation invariant is violated on purpose. Used
+  // by the checker's mutation self-test to prove it detects corruption.
+  void corrupt_transit_accounting_for_test() {
+    skip_transit_decrement_ = true;
+  }
 
  private:
   void start_transmission();
@@ -96,6 +112,8 @@ class Link {
   Node* dst_node_ = nullptr;
   bool busy_ = false;
   bool down_ = false;
+  bool skip_transit_decrement_ = false;  // mutation self-test only
+  std::uint64_t in_transit_ = 0;
   double loss_rate_ = 0.0;
   sim::Rng loss_rng_;
   sim::Duration max_jitter_ = sim::Duration::zero();

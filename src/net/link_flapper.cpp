@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace tcppr::net {
@@ -18,6 +19,32 @@ LinkFlapper::LinkFlapper(sim::Scheduler& sched, std::vector<Link*> links,
   TCPPR_CHECK(config_.mean_down > sim::Duration::zero());
 }
 
+void LinkFlapper::set_metric_registry(obs::MetricRegistry* registry,
+                                      const std::string& label) {
+  reg_ = registry;
+  if (reg_ == nullptr) return;
+  m_transitions_ = reg_->intern("flap.transitions[" + label + "]",
+                                obs::MetricKind::kGauge);
+  m_down_ = reg_->intern("flap.down[" + label + "]", obs::MetricKind::kGauge);
+  m_down_time_ =
+      reg_->intern("flap.down_time_s[" + label + "]", obs::MetricKind::kGauge);
+}
+
+sim::Duration LinkFlapper::down_time() const {
+  sim::Duration total = down_time_;
+  if (down_) total = total + (sched_.now() - down_since_);
+  return total;
+}
+
+void LinkFlapper::emit_metrics() {
+  if (reg_ == nullptr || !reg_->active()) return;
+  const sim::TimePoint now = sched_.now();
+  reg_->set(now, m_transitions_, kInvalidFlow,
+            static_cast<double>(transitions_));
+  reg_->set(now, m_down_, kInvalidFlow, down_ ? 1.0 : 0.0);
+  reg_->set(now, m_down_time_, kInvalidFlow, down_time().as_seconds());
+}
+
 void LinkFlapper::start() {
   TCPPR_CHECK(!running_);
   running_ = true;
@@ -32,15 +59,23 @@ void LinkFlapper::stop() {
   timer_.cancel();
   if (down_) {
     for (Link* link : links_) link->set_down(false);
+    down_time_ = down_time_ + (sched_.now() - down_since_);
     down_ = false;
   }
+  emit_metrics();
 }
 
 void LinkFlapper::toggle() {
   if (!running_) return;
   down_ = !down_;
   ++transitions_;
+  if (down_) {
+    down_since_ = sched_.now();
+  } else {
+    down_time_ = down_time_ + (sched_.now() - down_since_);
+  }
   for (Link* link : links_) link->set_down(down_);
+  emit_metrics();
   const sim::Duration mean = down_ ? config_.mean_down : config_.mean_up;
   timer_.schedule_in(
       sim::Duration::seconds(rng_.exponential(mean.as_seconds())),

@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "net/link.hpp"
+#include "obs/series.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
@@ -23,13 +25,23 @@ class LinkFlapper {
 
   LinkFlapper(sim::Scheduler& sched, std::vector<Link*> links, Config config);
 
+  // Emits "flap.transitions" / "flap.down" / "flap.down_time_s[label]"
+  // samples on every toggle (and on stop()) when a registry with an active
+  // sink is attached. Optional; without it the flapper only counts.
+  void set_metric_registry(obs::MetricRegistry* registry,
+                           const std::string& label = "flapper");
+
   void start();
   void stop();
   bool links_down() const { return down_; }
   std::uint64_t transitions() const { return transitions_; }
+  // Cumulative time the link set has spent administratively down,
+  // including the current outage when called while down.
+  sim::Duration down_time() const;
 
  private:
   void toggle();
+  void emit_metrics();
 
   sim::Scheduler& sched_;
   std::vector<Link*> links_;
@@ -39,6 +51,12 @@ class LinkFlapper {
   bool running_ = false;
   bool down_ = false;
   std::uint64_t transitions_ = 0;
+  sim::Duration down_time_ = sim::Duration::zero();
+  sim::TimePoint down_since_{};
+  obs::MetricRegistry* reg_ = nullptr;
+  obs::MetricId m_transitions_ = 0;
+  obs::MetricId m_down_ = 0;
+  obs::MetricId m_down_time_ = 0;
 };
 
 }  // namespace tcppr::net

@@ -93,4 +93,21 @@ std::uint64_t Network::total_drops() const {
   return total;
 }
 
+Network::ConservationSnapshot Network::conservation() const {
+  ConservationSnapshot snap;
+  for (const auto& node : nodes_) {
+    const NodeStats& ns = node->stats();
+    snap.originated += ns.originated;
+    snap.delivered_to_agent += ns.delivered_to_agent;
+    snap.unroutable += ns.unroutable;
+  }
+  for (const auto& link : links_) {
+    snap.link_lost += link->stats().lost;
+    snap.queue_dropped += link->queue().stats().dropped;
+    snap.in_queues += link->queue().length_packets();
+    snap.in_transit += link->in_transit();
+  }
+  return snap;
+}
+
 }  // namespace tcppr::net

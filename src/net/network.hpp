@@ -69,6 +69,27 @@ class Network {
   // Aggregate drop count over all links (queue + loss model).
   std::uint64_t total_drops() const;
 
+  // Network-wide packet accounting, consistent at event boundaries. The
+  // conservation invariant the validation layer checks is
+  //   originated == delivered_to_agent + unroutable + link_lost
+  //              + queue_dropped + in_queues + in_transit
+  // which must hold at every instant the scheduler is between events.
+  struct ConservationSnapshot {
+    std::uint64_t originated = 0;
+    std::uint64_t delivered_to_agent = 0;
+    std::uint64_t unroutable = 0;
+    std::uint64_t link_lost = 0;      // down/filter + loss-model drops
+    std::uint64_t queue_dropped = 0;  // rejected at enqueue
+    std::uint64_t in_queues = 0;      // sitting in link queues
+    std::uint64_t in_transit = 0;     // in transmitters / propagating
+    std::uint64_t accounted() const {
+      return delivered_to_agent + unroutable + link_lost + queue_dropped +
+             in_queues + in_transit;
+    }
+    bool balanced() const { return originated == accounted(); }
+  };
+  ConservationSnapshot conservation() const;
+
  private:
   sim::Scheduler& sched_;
   trace::Tracer tracer_;

@@ -71,6 +71,7 @@ void Node::receive(Packet&& pkt) {
 }
 
 void Node::originate(Packet&& pkt) {
+  ++stats_.originated;
   pkt.src = id_;
   if (routing_policy_ != nullptr) {
     if (auto choice = routing_policy_->choose_route(pkt.dst)) {

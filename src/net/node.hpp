@@ -41,6 +41,7 @@ class SourceRoutingPolicy {
 };
 
 struct NodeStats {
+  std::uint64_t originated = 0;  // packets injected by local agents
   std::uint64_t forwarded = 0;
   std::uint64_t delivered_to_agent = 0;
   std::uint64_t unroutable = 0;  // no next hop / no agent: dropped

@@ -23,6 +23,8 @@ QueueProbe::QueueProbe(sim::Scheduler& sched, MetricRegistry& registry,
   drops_ = reg_.intern("queue.drops[" + label_ + "]", MetricKind::kGauge);
   bytes_out_ =
       reg_.intern("queue.bytes_dequeued[" + label_ + "]", MetricKind::kGauge);
+  loss_drops_ =
+      reg_.intern("link.loss_drops[" + label_ + "]", MetricKind::kGauge);
 }
 
 void QueueProbe::start() {
@@ -40,6 +42,8 @@ void QueueProbe::tick() {
            static_cast<double>(q.stats().dropped));
   reg_.set(now, bytes_out_, net::kInvalidFlow,
            static_cast<double>(q.stats().bytes_dequeued));
+  reg_.set(now, loss_drops_, net::kInvalidFlow,
+           static_cast<double>(link_.stats().loss_model_lost));
   timer_.schedule_in(interval_, [this] { tick(); });
 }
 

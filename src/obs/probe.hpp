@@ -86,10 +86,10 @@ class FlowProbe {
 };
 
 // Samples one link queue every `interval`: occupancy in packets and bytes
-// (gauges) plus cumulative drops and dequeued bytes (counters exported as
-// monotone gauges, enabling byte-accurate utilization readouts between any
-// two sample points). Metric names carry the queue identity, e.g.
-// "queue.pkts[1->2]".
+// (gauges) plus cumulative drops, dequeued bytes, and the link's
+// loss-model drops (counters exported as monotone gauges, enabling
+// byte-accurate utilization readouts between any two sample points).
+// Metric names carry the queue identity, e.g. "queue.pkts[1->2]".
 class QueueProbe {
  public:
   QueueProbe(sim::Scheduler& sched, MetricRegistry& registry,
@@ -113,6 +113,7 @@ class QueueProbe {
   MetricId bytes_;
   MetricId drops_;
   MetricId bytes_out_;
+  MetricId loss_drops_;
   sim::Timer timer_;
 };
 

@@ -60,10 +60,18 @@ void Receiver::on_data(const net::Packet& pkt) {
     duplicate = true;
     ++stats_.duplicates;
   } else if (seq == rcv_next_) {
+    if (delivery_hash_enabled_) {
+      delivered_hash_ =
+          util::fnv1a_u64(delivered_hash_, util::payload_word(flow_, seq));
+    }
     ++rcv_next_;
     // Pull buffered segments into the in-order stream.
     while (!above_.empty() && *above_.begin() == rcv_next_) {
       above_.erase(above_.begin());
+      if (delivery_hash_enabled_) {
+        delivered_hash_ = util::fnv1a_u64(delivered_hash_,
+                                          util::payload_word(flow_, rcv_next_));
+      }
       ++rcv_next_;
     }
     // Retire SACK blocks now covered by the cumulative ACK.

@@ -15,6 +15,7 @@
 #include "obs/probe.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/types.hpp"
+#include "util/hash.hpp"
 
 namespace tcppr::tcp {
 
@@ -41,9 +42,24 @@ class Receiver final : public net::Agent {
   void deliver(net::Packet&& pkt) override;
 
   const ReceiverStats& stats() const { return stats_; }
+  FlowId flow() const { return flow_; }
   SeqNo rcv_next() const { return rcv_next_; }
   // Count of segments buffered above the in-order point.
   std::size_t ooo_buffered() const { return above_.size(); }
+  // Current SACK blocks, recency-ordered (validation layer inspects their
+  // structure: disjoint, above the cumulative ACK point).
+  const std::list<net::SackBlock>& sack_blocks() const { return sack_blocks_; }
+
+  // End-to-end payload checksum (src/validate): from now on, fold the
+  // deterministic payload word of every segment entering the in-order
+  // stream into an FNV-1a running hash. One predictable branch per
+  // delivered segment when off (the src/obs discipline).
+  void enable_delivery_validation() { delivery_hash_enabled_ = true; }
+  bool delivery_validation_enabled() const { return delivery_hash_enabled_; }
+  std::uint64_t delivered_hash() const { return delivered_hash_; }
+  // Test-only mutation knob: perturb the running hash so the checker's
+  // payload-checksum invariant trips (mutation self-test).
+  void corrupt_delivered_hash_for_test() { delivered_hash_ ^= 1; }
 
   // Test hook: observe every ACK as it is emitted.
   void set_ack_tap(std::function<void(const net::Packet&)> tap) {
@@ -71,6 +87,8 @@ class Receiver final : public net::Agent {
   ReceiverConfig config_;
 
   SeqNo rcv_next_ = 0;
+  bool delivery_hash_enabled_ = false;
+  std::uint64_t delivered_hash_ = util::kFnvOffsetBasis;
   std::set<SeqNo> above_;  // received segments > rcv_next_
   // Recency-ordered SACK blocks (most recently updated first, RFC 2018).
   std::list<net::SackBlock> sack_blocks_;

@@ -1,6 +1,7 @@
 #include "tcp/reno.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -19,6 +20,29 @@ RenoSender::RenoSender(net::Network& network, net::NodeId local,
 void RenoSender::on_start() {
   send_new_data();
   restart_rto_timer();
+}
+
+SenderInvariantView RenoSender::invariant_view() const {
+  SenderInvariantView v;
+  v.valid = true;
+  v.cwnd = cwnd_;
+  v.ssthresh = ssthresh_;
+  v.ssthresh_floor = 2.0;
+  v.snd_una = snd_una_;
+  v.snd_nxt = snd_nxt_;
+  v.window_bookkeeping = true;
+  // Count only records inside the window: a go-back-N timeout rewinds
+  // snd_nxt_ without erasing the entries above it.
+  v.tracked_in_window = static_cast<std::int64_t>(std::distance(
+      tx_info_.lower_bound(snd_una_), tx_info_.lower_bound(snd_nxt_)));
+  v.has_rto = true;
+  v.rto = rto_.rto();
+  v.min_rto = rto_.params().min;
+  v.max_rto = rto_.params().max;
+  v.rtx_timer_armed = rto_timer_.pending();
+  v.rtx_timer_needed = started() && flight_size() > 0;
+  v.rtx_timer_strict = true;
+  return v;
 }
 
 double RenoSender::usable_window() const {

@@ -19,6 +19,7 @@ class RenoSender : public SenderBase {
 
   double cwnd() const override { return cwnd_; }
   const char* algorithm() const override { return "reno"; }
+  SenderInvariantView invariant_view() const override;
 
   double ssthresh() const { return ssthresh_; }
   bool in_fast_recovery() const { return in_recovery_; }

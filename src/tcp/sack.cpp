@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -21,6 +22,42 @@ SackSender::SackSender(net::Network& network, net::NodeId local,
 void SackSender::on_start() {
   send_more();
   restart_rto_timer();
+}
+
+SenderInvariantView SackSender::invariant_view() const {
+  SenderInvariantView v;
+  v.valid = true;
+  v.cwnd = cwnd_;
+  v.ssthresh = ssthresh_;
+  v.ssthresh_floor = 2.0;
+  v.snd_una = snd_una_;
+  v.snd_nxt = snd_nxt_;
+  v.window_bookkeeping = true;
+  v.tracked_in_window = static_cast<std::int64_t>(std::distance(
+      tx_info_.lower_bound(snd_una_), tx_info_.lower_bound(snd_nxt_)));
+  v.has_rto = true;
+  v.rto = rto_.rto();
+  v.min_rto = rto_.params().min;
+  v.max_rto = rto_.params().max;
+  v.rtx_timer_armed = rto_timer_.pending();
+  v.rtx_timer_needed = started() && snd_nxt_ > snd_una_;
+  v.rtx_timer_strict = true;
+  // Scoreboard structure (RFC 3517): every mark lives inside the window,
+  // a segment is never both SACKed and lost, and only lost segments can
+  // have retransmissions in flight.
+  v.scoreboard_ok = true;
+  for (const SeqNo s : sacked_) {
+    if (s < snd_una_ || s >= snd_nxt_ || lost_.contains(s)) {
+      v.scoreboard_ok = false;
+    }
+  }
+  for (const SeqNo s : lost_) {
+    if (s < snd_una_ || s >= snd_nxt_) v.scoreboard_ok = false;
+  }
+  for (const SeqNo s : rtx_in_flight_) {
+    if (!lost_.contains(s)) v.scoreboard_ok = false;
+  }
+  return v;
 }
 
 int SackSender::effective_dupthresh() const {

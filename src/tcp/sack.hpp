@@ -26,6 +26,7 @@ class SackSender : public SenderBase {
 
   double cwnd() const override { return cwnd_; }
   const char* algorithm() const override { return "sack"; }
+  SenderInvariantView invariant_view() const override;
 
   double ssthresh() const { return ssthresh_; }
   bool in_fast_recovery() const { return in_recovery_; }

@@ -42,6 +42,38 @@ class FixedDataSource final : public DataSource {
   SeqNo segments_;
 };
 
+// Uniform snapshot of the sender-side state-machine invariants, exported
+// by every variant for the validation layer (src/validate). Fields are a
+// lowest-common-denominator view: family-specific structure (SACK
+// scoreboard consistency, TCP-PR bookkeeping) is pre-checked by the
+// variant and folded into `scoreboard_ok`.
+struct SenderInvariantView {
+  bool valid = false;  // false: variant exports no view (checker skips it)
+  double cwnd = 0;
+  double ssthresh = 0;
+  // Variant-specific lower bound on ssthresh (2.0 for the RFC 5681
+  // family; 1.0 for TCP-PR, whose halving floors at one segment).
+  double ssthresh_floor = 0;
+  SeqNo snd_una = 0;
+  SeqNo snd_nxt = 0;
+  // Per-segment records the variant tracks inside [snd_una, snd_nxt).
+  // Checked against snd_nxt - snd_una only when window_bookkeeping is set
+  // (the Reno/SACK families; TCP-PR splits its flight across two sets and
+  // reports via scoreboard_ok instead).
+  bool window_bookkeeping = false;
+  std::int64_t tracked_in_window = 0;
+  bool has_rto = false;  // RFC 2988 estimator present (not TCP-PR)
+  sim::Duration rto = sim::Duration::zero();
+  sim::Duration min_rto = sim::Duration::zero();
+  sim::Duration max_rto = sim::Duration::zero();
+  bool rtx_timer_armed = false;
+  bool rtx_timer_needed = false;  // data outstanding
+  // true: armed <=> needed. false: only needed => armed is required
+  // (TCP-PR's unblock timer may legitimately outlive its backoff).
+  bool rtx_timer_strict = false;
+  bool scoreboard_ok = true;  // family-specific structural consistency
+};
+
 class SenderBase : public net::Agent {
  public:
   SenderBase(net::Network& network, net::NodeId local, net::NodeId remote,
@@ -81,6 +113,9 @@ class SenderBase : public net::Agent {
   virtual double cwnd() const = 0;
   // Name of the variant, for experiment tables.
   virtual const char* algorithm() const = 0;
+  // Invariant snapshot for src/validate; the default (valid == false)
+  // means "nothing to check". Safe to call between scheduler events only.
+  virtual SenderInvariantView invariant_view() const { return {}; }
 
  protected:
   virtual void on_start() = 0;

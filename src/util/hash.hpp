@@ -1,0 +1,45 @@
+// Small deterministic hashing primitives shared by the validation layer
+// (src/validate) and the endpoints it instruments.
+//
+// Fnv1a is the 64-bit FNV-1a fold used for the determinism oracle (hash of
+// the delivered-packet event stream) and the end-to-end payload checksum.
+// payload_word derives the synthetic payload of one TCP segment from its
+// (flow, seq) identity, so sender and receiver can agree on the byte
+// content of a transfer without the simulator carrying payload bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace tcppr::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+// Folds the 8 bytes of `word` (little-endian order) into an FNV-1a state.
+constexpr std::uint64_t fnv1a_u64(std::uint64_t state, std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    state ^= (word >> (8 * i)) & 0xffu;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+// splitmix64 finalizer: a cheap, well-mixed 64 -> 64 bijection.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// The synthetic payload of segment `seq` of flow `flow`: a deterministic
+// function both endpoints can compute independently. The receiver folds
+// these words in delivery order; a skipped, duplicated, or mis-ordered
+// in-order delivery produces a checksum mismatch.
+constexpr std::uint64_t payload_word(int flow, std::int64_t seq) {
+  return mix64((static_cast<std::uint64_t>(static_cast<std::uint32_t>(flow))
+                << 32) ^
+               static_cast<std::uint64_t>(seq));
+}
+
+}  // namespace tcppr::util

@@ -1,0 +1,46 @@
+// Determinism oracle: a TraceSink that folds the delivered-packet event
+// stream into one 64-bit FNV-1a hash. Two runs of the same scenario are
+// behaviourally identical iff every delivery happened at the same time, to
+// the same node, with the same flow/seq/size — exactly what the hash
+// witnesses. Replaces the manual "byte-identical output" comparison: equal
+// hashes across reruns and across --jobs counts prove the sweep runners
+// did not perturb per-cell simulation behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+#include "util/hash.hpp"
+
+namespace tcppr::validate {
+
+class DeliveryHasher final : public trace::TraceSink {
+ public:
+  void record(const trace::Record& r) override {
+    if (r.type != trace::EventType::kDeliver) return;
+    ++delivered_;
+    std::uint64_t h = hash_;
+    h = util::fnv1a_u64(h, static_cast<std::uint64_t>(r.time.as_nanos()));
+    h = util::fnv1a_u64(
+        h, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.flow))
+            << 32) |
+               static_cast<std::uint32_t>(r.to));
+    h = util::fnv1a_u64(h, static_cast<std::uint64_t>(r.seq));
+    h = util::fnv1a_u64(h, (static_cast<std::uint64_t>(r.size_bytes) << 1) |
+                               (r.is_ack ? 1u : 0u));
+    hash_ = h;
+  }
+
+  std::uint64_t hash() const { return hash_; }
+  std::uint64_t delivered() const { return delivered_; }
+  void reset() {
+    hash_ = util::kFnvOffsetBasis;
+    delivered_ = 0;
+  }
+
+ private:
+  std::uint64_t hash_ = util::kFnvOffsetBasis;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace tcppr::validate

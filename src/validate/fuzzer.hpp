@@ -1,0 +1,83 @@
+// ScenarioFuzzer: randomized scenario generation driven by a single seed,
+// executed under the InvariantChecker.
+//
+// One seed deterministically selects a topology (the paper's dumbbell /
+// parking-lot / multi-path plus a small random graph), a variant mix over
+// all twelve senders, a run length, and a set of fault processes
+// (Bernoulli loss, delivery jitter, LinkFlapper outages, a mid-run
+// bandwidth/delay reconfiguration). The space of adversarial reorder/loss
+// interleavings is far larger than the hand-built figure scenarios cover;
+// the fuzzer samples it.
+//
+// On failure the campaign prints a one-line reproducer
+// (`tcppr_sim --fuzz-seed N` plus the sampled config) and a greedily
+// minimized variant of the case that still fails.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/scenarios.hpp"
+
+namespace tcppr::validate {
+
+struct FuzzCase {
+  enum class Topology { kDumbbell, kParkingLot, kMultipath, kRandomGraph };
+
+  std::uint64_t seed = 1;
+  Topology topology = Topology::kDumbbell;
+  int flows = 1;  // measured flows (always 1 on the multipath mesh)
+  std::vector<harness::TcpVariant> variants;  // size == flows
+  double duration_s = 5.0;
+  bool cross_traffic = false;  // parking-lot only
+  // Fault processes (0 / false = disabled).
+  double loss_rate = 0;
+  double jitter_ms = 0;
+  bool flap = false;
+  double flap_mean_up_s = 1.0;
+  double flap_mean_down_s = 0.2;
+  bool reconfigure_mid_run = false;  // halve bw / double delay at T/2
+  // Topology knobs.
+  double epsilon = 0;   // multipath randomization (paper sweep values)
+  int graph_nodes = 6;  // random graph only (ring + chords)
+
+  // Mutation knobs for the checker's self-test. Never sampled by the
+  // fuzzer; set explicitly by tests/validate_selftest.cpp.
+  bool corrupt_transit_for_test = false;
+  bool corrupt_delivery_for_test = false;
+};
+
+const char* to_string(FuzzCase::Topology topology);
+
+// Deterministically expands a seed into a case (sample_fuzz_case(n) is a
+// pure function of n).
+FuzzCase sample_fuzz_case(std::uint64_t seed);
+
+struct FuzzResult {
+  bool ok = false;
+  std::uint64_t violations = 0;
+  std::string first_violation;
+  std::uint64_t delivered = 0;      // packets delivered to agents
+  std::uint64_t delivery_hash = 0;  // determinism oracle over the run
+};
+
+// Builds the scenario described by `c`, runs it under an InvariantChecker
+// for c.duration_s of simulated time, and reports the outcome.
+FuzzResult run_fuzz_case(const FuzzCase& c);
+
+// One-line reproducer configuration (appended to "--fuzz-seed N").
+std::string describe(const FuzzCase& c);
+
+// Greedy config minimizer: tries removing fault processes, shrinking the
+// flow set and duration, and simplifying the topology while the case
+// still fails; at most `max_runs` re-executions.
+FuzzCase minimize_fuzz_case(const FuzzCase& failing, int max_runs = 40);
+
+// Runs seeds [first_seed, first_seed + count) across `jobs` threads.
+// Prints one reproducer line per failing seed (plus its minimized form)
+// through std::fprintf(stderr, ...) and returns the number of failures.
+int run_fuzz_campaign(std::uint64_t first_seed, int count, int jobs,
+                      bool quiet = false);
+
+}  // namespace tcppr::validate

@@ -1,0 +1,119 @@
+// Determinism oracle: the FNV-1a hash of the delivered-packet event stream
+// must be identical across reruns of the same seed, unaffected by an
+// attached invariant checker, and identical per cell whether a sweep runs
+// on one worker thread or four.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
+#include "harness/scenarios.hpp"
+#include "validate/determinism.hpp"
+#include "validate/fuzzer.hpp"
+#include "validate/invariants.hpp"
+
+namespace tcppr::validate {
+namespace {
+
+struct RunDigest {
+  std::uint64_t hash = 0;
+  std::uint64_t delivered = 0;
+};
+
+// 16-flow dumbbell (8 TCP-PR + 8 SACK), hashed; optionally checked.
+RunDigest run_dumbbell16(std::uint64_t seed, bool with_checker) {
+  harness::DumbbellConfig config;
+  config.pr_flows = 8;
+  config.sack_flows = 8;
+  config.seed = seed;
+  auto scenario = harness::make_dumbbell(config);
+
+  DeliveryHasher hasher;
+  scenario->network.add_trace_sink(&hasher);
+  std::unique_ptr<InvariantChecker> checker;
+  if (with_checker) {
+    checker = std::make_unique<InvariantChecker>(*scenario);
+    checker->start();
+  }
+
+  harness::MeasurementWindow window;
+  window.total = sim::Duration::seconds(6);
+  window.measured = sim::Duration::seconds(3);
+  run_scenario(*scenario, window);
+  if (checker) {
+    checker->finalize();
+    EXPECT_TRUE(checker->ok()) << checker->report();
+  }
+  return {hasher.hash(), hasher.delivered()};
+}
+
+TEST(Determinism, SameSeedSameDeliveryStream) {
+  const RunDigest a = run_dumbbell16(42, /*with_checker=*/false);
+  const RunDigest b = run_dumbbell16(42, /*with_checker=*/false);
+  EXPECT_GT(a.delivered, 0u);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.delivered, b.delivered);
+}
+
+TEST(Determinism, DifferentSeedDifferentDeliveryStream) {
+  const RunDigest a = run_dumbbell16(42, /*with_checker=*/false);
+  const RunDigest b = run_dumbbell16(43, /*with_checker=*/false);
+  EXPECT_NE(a.hash, b.hash);
+}
+
+TEST(Determinism, CheckerDoesNotPerturbTheRun) {
+  // The checker only reads simulation state between events; attaching it
+  // must leave the delivered-packet stream bit-identical.
+  const RunDigest plain = run_dumbbell16(42, /*with_checker=*/false);
+  const RunDigest checked = run_dumbbell16(42, /*with_checker=*/true);
+  EXPECT_EQ(plain.hash, checked.hash);
+  EXPECT_EQ(plain.delivered, checked.delivered);
+}
+
+// Figure-3-style sweep cells hashed per cell; the per-cell stream must not
+// depend on how many worker threads execute the sweep.
+std::vector<std::uint64_t> sweep_hashes(int jobs) {
+  const double epsilons[] = {0, 1, 4};
+  constexpr int kCells = 3;
+  std::vector<std::uint64_t> hashes(kCells, 0);
+  std::vector<DeliveryHasher> hashers(kCells);
+  harness::parallel_for(jobs, kCells, [&](int i) {
+    harness::MultipathConfig config;
+    config.variant = harness::TcpVariant::kTcpPr;
+    config.epsilon = epsilons[i];
+    harness::MeasurementWindow window;
+    window.total = sim::Duration::seconds(5);
+    window.measured = sim::Duration::seconds(2);
+    run_multipath_cell(config, window, [&](harness::Scenario& s) {
+      s.network.add_trace_sink(&hashers[static_cast<std::size_t>(i)]);
+    });
+    hashes[static_cast<std::size_t>(i)] =
+        hashers[static_cast<std::size_t>(i)].hash();
+  });
+  return hashes;
+}
+
+TEST(Determinism, SweepHashesIndependentOfJobCount) {
+  const std::vector<std::uint64_t> serial = sweep_hashes(1);
+  const std::vector<std::uint64_t> threaded = sweep_hashes(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], threaded[i]) << "cell " << i;
+    EXPECT_NE(serial[i], util::kFnvOffsetBasis) << "cell " << i << " empty";
+  }
+}
+
+TEST(Determinism, FuzzCaseHashesAreReproducible) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const FuzzCase c = sample_fuzz_case(seed);
+    const FuzzResult a = run_fuzz_case(c);
+    const FuzzResult b = run_fuzz_case(c);
+    EXPECT_EQ(a.delivery_hash, b.delivery_hash) << "seed " << seed;
+    EXPECT_EQ(a.delivered, b.delivered) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tcppr::validate

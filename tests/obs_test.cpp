@@ -11,6 +11,8 @@
 #include <string>
 
 #include "core/tcp_pr.hpp"
+#include "net/link_flapper.hpp"
+#include "net/network.hpp"
 #include "obs/probe.hpp"
 #include "obs/registry.hpp"
 #include "obs/series.hpp"
@@ -196,6 +198,65 @@ TEST(Series, MxrttEnvelopeTracksRttSpikeOnLiveFlow) {
   const auto rcv = sink.series("rcv_next", 1);
   ASSERT_FALSE(rcv.empty());
   EXPECT_GT(rcv.back().second, 1000.0);
+}
+
+TEST(ObsExport, FlapperTransitionsDownTimeAndLossDrops) {
+  // LinkFlapper outage accounting and the link's loss-model drops are
+  // exported as metrics: drive traffic over a flapping, lossy link and
+  // read both back through a series sink.
+  sim::Scheduler sched;
+  net::Network network(sched);
+  const auto a = network.add_node();
+  const auto b = network.add_node();
+  network.add_duplex_link(a, b, {});
+  network.compute_static_routes();
+  net::Link* ab = network.find_link(a, b);
+  ab->set_loss_model(0.5, sim::Rng(7));
+
+  MetricRegistry reg;
+  MemorySeriesSink sink;
+  reg.add_sink(&sink);
+
+  net::LinkFlapper::Config fc;
+  fc.mean_up = sim::Duration::millis(50);
+  fc.mean_down = sim::Duration::millis(20);
+  fc.seed = 3;
+  net::LinkFlapper flapper(sched, {ab}, fc);
+  flapper.set_metric_registry(&reg, "ab");
+  QueueProbe probe(sched, reg, *ab, sim::Duration::millis(10), "ab");
+  probe.start();
+  flapper.start();
+
+  for (int i = 0; i < 200; ++i) {
+    sched.schedule_at(sim::TimePoint::from_seconds(0.005 * i), [&network, a, b] {
+      net::Packet p;
+      p.dst = b;
+      p.size_bytes = 1000;
+      p.tcp.flow = 1;
+      network.node(a).originate(std::move(p));
+    });
+  }
+  sched.run_until(sim::TimePoint::from_seconds(1.0));
+  flapper.stop();
+  probe.stop();
+  sched.run();
+
+  EXPECT_GT(flapper.transitions(), 0u);
+  EXPECT_GT(flapper.down_time(), sim::Duration::zero());
+
+  const auto transitions = sink.series("flap.transitions[ab]");
+  ASSERT_FALSE(transitions.empty());
+  EXPECT_EQ(transitions.back().second,
+            static_cast<double>(flapper.transitions()));
+  const auto down_time = sink.series("flap.down_time_s[ab]");
+  ASSERT_FALSE(down_time.empty());
+  EXPECT_DOUBLE_EQ(down_time.back().second, flapper.down_time().as_seconds());
+
+  ASSERT_GT(ab->stats().loss_model_lost, 0u);
+  const auto loss = sink.series("link.loss_drops[ab]");
+  ASSERT_FALSE(loss.empty());
+  EXPECT_EQ(loss.back().second,
+            static_cast<double>(ab->stats().loss_model_lost));
 }
 
 }  // namespace

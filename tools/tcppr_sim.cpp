@@ -8,6 +8,9 @@
 //   tcppr_sim --topology dumbbell --pr-flows 4 --sack-flows 4
 //   tcppr_sim --topology multipath --variant inc-by-n --epsilon 1
 //   tcppr_sim --topology parking-lot --duration 100 --trace run.tr
+//   tcppr_sim --validate --topology dumbbell         # run under the checker
+//   tcppr_sim --fuzz 100 --jobs 4                    # fuzz seeds 1..100
+//   tcppr_sim --fuzz-seed 42                         # replay one fuzz case
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +22,8 @@
 #include "obs/registry.hpp"
 #include "obs/series.hpp"
 #include "trace/trace.hpp"
+#include "validate/fuzzer.hpp"
+#include "validate/invariants.hpp"
 
 namespace {
 
@@ -41,6 +46,10 @@ struct Args {
   std::string trace_path;
   std::string ts_out;
   double ts_interval_s = 0.1;
+  bool validate = false;
+  int fuzz_count = 0;
+  std::optional<std::uint64_t> fuzz_seed;
+  int jobs = 1;
 };
 
 std::optional<TcpVariant> parse_variant(const std::string& name) {
@@ -69,7 +78,12 @@ void usage() {
       "  --trace <file>        write an ns-2-style packet trace\n"
       "  --ts-out <file>       write flow/queue time series (.ndjson for\n"
       "                        NDJSON, anything else for CSV)\n"
-      "  --ts-interval <s>     queue sampling interval (default 0.1)\n");
+      "  --ts-interval <s>     queue sampling interval (default 0.1)\n"
+      "  --validate            run under the invariant checker; nonzero\n"
+      "                        exit and a report on any violation\n"
+      "  --fuzz <n>            fuzz campaign over seeds [--seed, --seed+n)\n"
+      "  --fuzz-seed <n>       replay one fuzz case under the checker\n"
+      "  --jobs <j>            fuzz campaign worker threads (default 1)\n");
 }
 
 bool parse(int argc, char** argv, Args& args) {
@@ -111,6 +125,14 @@ bool parse(int argc, char** argv, Args& args) {
       args.ts_out = next();
     } else if (flag == "--ts-interval") {
       args.ts_interval_s = std::atof(next());
+    } else if (flag == "--validate") {
+      args.validate = true;
+    } else if (flag == "--fuzz") {
+      args.fuzz_count = std::atoi(next());
+    } else if (flag == "--fuzz-seed") {
+      args.fuzz_seed = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--jobs") {
+      args.jobs = std::atoi(next());
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
       return false;
@@ -172,6 +194,34 @@ std::unique_ptr<harness::Scenario> build(const Args& args) {
 int main(int argc, char** argv) {
   Args args;
   if (!parse(argc, argv, args)) return 1;
+
+  if (args.fuzz_seed) {
+    const auto c = validate::sample_fuzz_case(*args.fuzz_seed);
+    std::printf("fuzz seed %llu: %s\n",
+                static_cast<unsigned long long>(*args.fuzz_seed),
+                validate::describe(c).c_str());
+    const auto r = validate::run_fuzz_case(c);
+    std::printf("delivered=%llu hash=%016llx violations=%llu\n",
+                static_cast<unsigned long long>(r.delivered),
+                static_cast<unsigned long long>(r.delivery_hash),
+                static_cast<unsigned long long>(r.violations));
+    if (!r.ok) {
+      std::printf("first violation: %s\n", r.first_violation.c_str());
+      const auto min = validate::minimize_fuzz_case(c);
+      std::printf("minimized: %s\n", validate::describe(min).c_str());
+      return 1;
+    }
+    std::printf("OK\n");
+    return 0;
+  }
+  if (args.fuzz_count > 0) {
+    const int failures = validate::run_fuzz_campaign(
+        args.seed, args.fuzz_count, args.jobs);
+    std::printf("fuzz: %d/%d seeds clean\n", args.fuzz_count - failures,
+                args.fuzz_count);
+    return failures == 0 ? 0 : 1;
+  }
+
   auto scenario = build(args);
   if (!scenario) return 1;
 
@@ -204,10 +254,17 @@ int main(int argc, char** argv) {
         registry, sim::Duration::seconds(args.ts_interval_s));
   }
 
+  std::unique_ptr<validate::InvariantChecker> checker;
+  if (args.validate) {
+    checker = std::make_unique<validate::InvariantChecker>(*scenario);
+    checker->start();
+  }
+
   harness::MeasurementWindow window;
   window.total = sim::Duration::seconds(args.duration_s);
   window.measured = sim::Duration::seconds(args.measured_s);
   const auto result = run_scenario(*scenario, window);
+  if (checker) checker->finalize();
 
   std::printf("topology=%s duration=%.0fs measured=%.0fs seed=%llu\n",
               args.topology.c_str(), args.duration_s, args.measured_s,
@@ -245,6 +302,15 @@ int main(int argc, char** argv) {
     std::printf("time series written to %s (%llu samples)\n",
                 args.ts_out.c_str(),
                 static_cast<unsigned long long>(registry.samples_recorded()));
+  }
+  if (checker) {
+    std::printf("validation: %llu sweeps, %llu violations\n",
+                static_cast<unsigned long long>(checker->sweeps()),
+                static_cast<unsigned long long>(checker->total_violations()));
+    if (!checker->ok()) {
+      std::fputs(checker->report().c_str(), stderr);
+      return 1;
+    }
   }
   return 0;
 }
