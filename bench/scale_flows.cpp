@@ -1,0 +1,104 @@
+// Many-flow scale benchmarks (google-benchmark): how simulation cost grows
+// with the live flow count, per scheduler backend.
+//
+// Two layers:
+//   - BM_ScaleFlowsScheduler: the classic hold-model event-queue benchmark
+//     sized like an N-flow run (one pending deadline timer per flow plus a
+//     few in-flight packet events). Scheduler-bound by construction, so it
+//     isolates the backend: the binary heap pays O(log N) per operation
+//     against a live population of N, the calendar queue and timing wheel
+//     are amortized O(1).
+//   - BM_ScaleFlowsDumbbell: end-to-end many-flow dumbbell simulation
+//     (make_many_flows), where TCP processing and packet forwarding dilute
+//     the event-queue share.
+//
+// Second benchmark argument selects the backend: 0 = heap, 1 = calendar,
+// 2 = wheel.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "harness/scenarios.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace tcppr;
+
+sim::SchedulerBackend backend_arg(const benchmark::State& state) {
+  switch (state.range(1)) {
+    case 1:
+      return sim::SchedulerBackend::kCalendarQueue;
+    case 2:
+      return sim::SchedulerBackend::kTimingWheel;
+    default:
+      return sim::SchedulerBackend::kBinaryHeap;
+  }
+}
+
+// Hold model over a live population of N "flows": each pop reschedules
+// itself a pseudo-random interval ahead, holding the population constant —
+// the steady state of N flows each keeping a drop-deadline timer armed.
+// Intervals span 100 us .. 100 ms, the RTT-to-RTO band the TCP stacks
+// actually schedule in.
+void BM_ScaleFlowsScheduler(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  const auto backend = backend_arg(state);
+  constexpr int kOpsPerIteration = 200000;
+  for (auto _ : state) {
+    sim::Scheduler sched(backend);
+    sim::Rng rng(99);
+    int fired = 0;
+    std::function<void()> hold = [&] {
+      if (++fired < kOpsPerIteration) {
+        sched.schedule_in(
+            sim::Duration::micros(
+                100 + static_cast<std::int64_t>(rng.uniform(0.0, 1e5))),
+            [&hold] { hold(); });
+      }
+    };
+    for (int i = 0; i < flows; ++i) {
+      sched.schedule_in(
+          sim::Duration::micros(
+              100 + static_cast<std::int64_t>(rng.uniform(0.0, 1e5))),
+          [&hold] { hold(); });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.processed_count());
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIteration);
+}
+BENCHMARK(BM_ScaleFlowsScheduler)
+    ->ArgsProduct({{16, 256, 1024, 4096}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end: N-flow dumbbell for two simulated seconds. Bottleneck
+// bandwidth scales with N (constant per-flow share), so the event rate —
+// and the live timer population — grow linearly with the flow count.
+void BM_ScaleFlowsDumbbell(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    harness::ManyFlowsConfig config;
+    config.flows = flows;
+    config.backend = backend_arg(state);
+    auto scenario = harness::make_many_flows(config);
+    scenario->sched.run_until(sim::TimePoint::from_seconds(2));
+    benchmark::DoNotOptimize(scenario->sched.processed_count());
+  }
+}
+BENCHMARK(BM_ScaleFlowsDumbbell)
+    ->ArgsProduct({{16, 256, 1024}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+// 4096 flows is the ceiling the builder supports; one backend pair is
+// enough to extend the scaling curve without a combinatorial blowup in
+// bench time.
+BENCHMARK(BM_ScaleFlowsDumbbell)
+    ->Args({4096, 0})
+    ->Args({4096, 2})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -15,8 +15,8 @@ TcpPrSender::TcpPrSender(net::Network& network, net::NodeId local,
       pr_(pr_config),
       cwnd_(config.initial_cwnd),
       ssthr_(config.max_cwnd),
-      drop_timer_(network.scheduler()),
-      unblock_timer_(network.scheduler()) {
+      drop_timer_(network.scheduler(), [this] { on_drop_timer(); }),
+      unblock_timer_(network.scheduler(), [this] { flush_cwnd(); }) {
   TCPPR_CHECK(pr_.alpha > 0 && pr_.alpha < 1);
   TCPPR_CHECK(pr_.beta >= 1);
   TCPPR_CHECK(pr_.newton_iterations >= 1);
@@ -70,7 +70,7 @@ tcp::SenderInvariantView TcpPrSender::invariant_view() const {
   // disjoint, and memorize flags a subset of the outstanding packets.
   v.window_bookkeeping = false;
   v.has_rto = false;  // loss detection is mxrtt-based, no RFC 2988 state
-  v.rtx_timer_armed = drop_timer_.pending() || unblock_timer_.pending();
+  v.rtx_timer_armed = drop_timer_.armed() || unblock_timer_.armed();
   v.rtx_timer_needed = !to_be_ack_.empty() || !to_be_sent_rtx_.empty();
   v.rtx_timer_strict = false;  // the unblock timer may outlive its backoff
   v.scoreboard_ok = true;
@@ -104,7 +104,7 @@ void TcpPrSender::send_one(SeqNo seq) {
 void TcpPrSender::flush_cwnd() {
   if (now() < send_blocked_until_) {
     // Extreme-loss pause (§3.2): resume exactly when the block lifts.
-    unblock_timer_.schedule_at(send_blocked_until_, [this] { flush_cwnd(); });
+    unblock_timer_.arm(send_blocked_until_);
     return;
   }
   // Head repair runs outside the window check (like fast retransmit): the
@@ -152,8 +152,11 @@ void TcpPrSender::rearm_drop_timer() {
     return;
   }
   const sim::TimePoint deadline = send_order_.begin()->first + mxrtt();
-  drop_timer_.schedule_at(std::max(deadline, now()),
-                          [this] { on_drop_timer(); });
+  // Re-armed on every ack; the deadline normally only moves later (the
+  // head-of-line send time advances), so this is DeadlineTimer's no-cancel
+  // fast path. Only an mxrtt decay that outpaces the head's progress — or
+  // leaving backoff — moves it earlier and pays a cancel.
+  drop_timer_.arm(std::max(deadline, now()));
 }
 
 bool TcpPrSender::declaration_deferred(SeqNo seq) const {

@@ -189,8 +189,14 @@ class TcpPrSender final : public tcp::SenderBase {
   std::uint32_t next_tx_serial_ = 1;
   bool validate_ = false;
   std::uint64_t early_drop_declarations_ = 0;
-  sim::Timer drop_timer_;
-  sim::Timer unblock_timer_;
+  // Coalesced timers (one armed event per flow, not per packet): the drop
+  // timer tracks the earliest outstanding deadline — which normally only
+  // moves later as the head of send_order_ is acked — and the unblock
+  // timer tracks send_blocked_until_, which backoff doubling only pushes
+  // out. Both are exactly DeadlineTimer's lazy re-arm pattern, keeping the
+  // pending-event population O(flows) instead of O(acks).
+  sim::DeadlineTimer drop_timer_;
+  sim::DeadlineTimer unblock_timer_;
 };
 
 }  // namespace tcppr::core

@@ -1,5 +1,6 @@
 #include "harness/scenarios.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "tcp/door.hpp"
@@ -156,7 +157,7 @@ double Scenario::bottleneck_loss_rate() const {
 }
 
 std::unique_ptr<Scenario> make_dumbbell(const DumbbellConfig& config) {
-  auto s = std::make_unique<Scenario>();
+  auto s = std::make_unique<Scenario>(config.backend);
   net::Network& nw = s->network;
 
   const net::NodeId src = nw.add_node();
@@ -206,7 +207,7 @@ std::unique_ptr<Scenario> make_dumbbell(const DumbbellConfig& config) {
 }
 
 std::unique_ptr<Scenario> make_parking_lot(const ParkingLotConfig& config) {
-  auto s = std::make_unique<Scenario>();
+  auto s = std::make_unique<Scenario>(config.backend);
   net::Network& nw = s->network;
 
   const net::NodeId src = nw.add_node();   // S
@@ -291,7 +292,7 @@ std::unique_ptr<Scenario> make_parking_lot(const ParkingLotConfig& config) {
 
 std::unique_ptr<Scenario> make_multipath(const MultipathConfig& config) {
   TCPPR_CHECK(config.path_count >= 1);
-  auto s = std::make_unique<Scenario>();
+  auto s = std::make_unique<Scenario>(config.backend);
   net::Network& nw = s->network;
 
   const net::NodeId src = nw.add_node();
@@ -348,6 +349,125 @@ std::unique_ptr<Scenario> make_multipath(const MultipathConfig& config) {
 
   s->add_flow(config.variant, src, dst, /*flow=*/1, config.tcp, config.pr,
               sim::TimePoint::origin());
+  return s;
+}
+
+namespace {
+
+// Deterministic PR/SACK interleaving at `fraction`: flow i is TCP-PR when
+// assigning it keeps the running PR share at or below the target, which
+// spreads the minority variant evenly instead of front-loading it.
+TcpVariant variant_for(int index, double fraction, int& pr_assigned) {
+  const double share =
+      static_cast<double>(pr_assigned + 1) / static_cast<double>(index + 1);
+  if (share <= fraction + 1e-12) {
+    ++pr_assigned;
+    return TcpVariant::kTcpPr;
+  }
+  return TcpVariant::kSack;
+}
+
+}  // namespace
+
+std::unique_ptr<Scenario> make_many_flows(const ManyFlowsConfig& config) {
+  TCPPR_CHECK(config.flows >= 1 &&
+              config.flows <= ManyFlowsConfig::kMaxFlows);
+  TCPPR_CHECK(config.pr_fraction >= 0 && config.pr_fraction <= 1);
+  auto s = std::make_unique<Scenario>(config.backend);
+  net::Network& nw = s->network;
+  sim::Rng rng(config.seed);
+  const double stagger_s = config.max_start_stagger.as_seconds();
+  int pr_assigned = 0;
+
+  if (config.topology == ManyFlowsConfig::Topology::kDumbbell) {
+    const net::NodeId src = nw.add_node();
+    const net::NodeId r1 = nw.add_node();
+    const net::NodeId r2 = nw.add_node();
+    const net::NodeId dst = nw.add_node();
+    s->src_host = src;
+    s->dst_host = dst;
+
+    const double bottleneck_bw =
+        config.bottleneck_bw_per_flow_bps * config.flows;
+
+    net::LinkConfig access;
+    access.bandwidth_bps = config.access_bw_headroom * bottleneck_bw;
+    access.delay = config.access_delay;
+    // Access queues must absorb a synchronized window burst from every
+    // flow without becoming the experiment's bottleneck.
+    access.queue_limit_packets =
+        static_cast<std::size_t>(config.flows) * 8 + 2000;
+    nw.add_duplex_link(src, r1, access);
+    nw.add_duplex_link(r2, dst, access);
+
+    net::LinkConfig bottleneck;
+    bottleneck.bandwidth_bps = bottleneck_bw;
+    bottleneck.delay = config.bottleneck_delay;
+    // Queue ~ one bandwidth-delay product (1 kB segments, RTT dominated by
+    // 2 * bottleneck_delay), floored at the figure scenarios' 100.
+    const double rtt_s = 2.0 * (config.bottleneck_delay.as_seconds() +
+                                config.access_delay.as_seconds());
+    const double bdp_packets =
+        bottleneck_bw * rtt_s / (8.0 * config.tcp.segment_bytes);
+    bottleneck.queue_limit_packets =
+        std::max<std::size_t>(100, static_cast<std::size_t>(bdp_packets));
+    auto [fwd, rev] = nw.add_duplex_link(r1, r2, bottleneck);
+    s->bottlenecks.push_back(fwd);
+    (void)rev;
+
+    nw.compute_static_routes();
+
+    for (int i = 0; i < config.flows; ++i) {
+      const TcpVariant variant =
+          variant_for(i, config.pr_fraction, pr_assigned);
+      const auto start =
+          sim::TimePoint::from_seconds(rng.uniform(0.0, stagger_s));
+      s->add_flow(variant, src, dst, /*flow=*/i + 1, config.tcp, config.pr,
+                  start);
+    }
+    return s;
+  }
+
+  // Random graph: a ring with random chords (the fuzzer's shape, scaled
+  // up), flows between random distinct node pairs.
+  const int n = std::max(4, config.graph_nodes);
+  for (int i = 0; i < n; ++i) nw.add_node();
+
+  net::LinkConfig link;
+  link.bandwidth_bps = config.graph_bw_bps;
+  link.delay = config.graph_delay;
+  link.queue_limit_packets = config.graph_queue;
+  for (int i = 0; i < n; ++i) {
+    auto [fwd, rev] = nw.add_duplex_link(i, (i + 1) % n, link);
+    s->bottlenecks.push_back(fwd);
+    (void)rev;
+  }
+  for (int c = 0; c < config.graph_chords; ++c) {
+    const auto a = static_cast<net::NodeId>(rng.uniform_int(n));
+    net::NodeId b = static_cast<net::NodeId>(rng.uniform_int(n));
+    // Chords must span at least two ring hops to add a distinct route.
+    if (b == a || b == (a + 1) % n || a == (b + 1) % n) {
+      b = (a + static_cast<net::NodeId>(n) / 2) % n;
+    }
+    auto [fwd, rev] = nw.add_duplex_link(a, b, link);
+    s->bottlenecks.push_back(fwd);
+    (void)rev;
+  }
+  nw.compute_static_routes();
+  s->src_host = 0;
+  s->dst_host = n / 2;
+
+  for (int i = 0; i < config.flows; ++i) {
+    const net::NodeId src = static_cast<net::NodeId>(rng.uniform_int(n));
+    net::NodeId dst = static_cast<net::NodeId>(rng.uniform_int(n));
+    if (dst == src) dst = (dst + 1 + static_cast<net::NodeId>(n) / 2) % n;
+    const TcpVariant variant =
+        variant_for(i, config.pr_fraction, pr_assigned);
+    const auto start =
+        sim::TimePoint::from_seconds(rng.uniform(0.0, stagger_s));
+    s->add_flow(variant, src, dst, /*flow=*/i + 1, config.tcp, config.pr,
+                start);
+  }
   return s;
 }
 

@@ -48,7 +48,9 @@ std::unique_ptr<tcp::SenderBase> make_sender(
 // A built simulation: the scheduler, the network, and every endpoint.
 // Heap-only (internal references make it unmovable).
 struct Scenario {
-  Scenario() : network(sched) {}
+  explicit Scenario(
+      sim::SchedulerBackend backend = sim::SchedulerBackend::kBinaryHeap)
+      : sched(backend), network(sched) {}
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;
 
@@ -106,6 +108,7 @@ struct DumbbellConfig {
   core::TcpPrConfig pr;
   std::uint64_t seed = 1;
   sim::Duration max_start_stagger = sim::Duration::seconds(2);
+  sim::SchedulerBackend backend = sim::SchedulerBackend::kBinaryHeap;
 };
 
 std::unique_ptr<Scenario> make_dumbbell(const DumbbellConfig& config);
@@ -127,6 +130,7 @@ struct ParkingLotConfig {
   core::TcpPrConfig pr;
   std::uint64_t seed = 1;
   sim::Duration max_start_stagger = sim::Duration::seconds(2);
+  sim::SchedulerBackend backend = sim::SchedulerBackend::kBinaryHeap;
 };
 
 std::unique_ptr<Scenario> make_parking_lot(const ParkingLotConfig& config);
@@ -142,8 +146,45 @@ struct MultipathConfig {
   tcp::TcpConfig tcp;
   core::TcpPrConfig pr;
   std::uint64_t seed = 1;
+  sim::SchedulerBackend backend = sim::SchedulerBackend::kBinaryHeap;
 };
 
 std::unique_ptr<Scenario> make_multipath(const MultipathConfig& config);
+
+// The many-flow scale workload (ROADMAP: thousands of concurrent flows).
+// Either a dumbbell whose bottleneck bandwidth and queue scale with the
+// flow count (per-flow share stays constant, so the congestion regime does
+// not change character as N grows), or a ring-plus-chords random graph with
+// flows between random node pairs. Flow variants interleave TCP-PR and
+// SACK at pr_fraction, matching the paper's competition experiments.
+struct ManyFlowsConfig {
+  static constexpr int kMaxFlows = 4096;
+
+  enum class Topology { kDumbbell, kRandomGraph };
+  Topology topology = Topology::kDumbbell;
+  int flows = 256;          // 1 .. kMaxFlows
+  double pr_fraction = 0.5; // fraction of flows running TCP-PR (rest SACK)
+
+  // Dumbbell sizing (per flow, so N only scales the plant).
+  double bottleneck_bw_per_flow_bps = 125e3;
+  sim::Duration bottleneck_delay = sim::Duration::millis(20);
+  double access_bw_headroom = 2.0;  // access bw = headroom * bottleneck bw
+  sim::Duration access_delay = sim::Duration::millis(1);
+
+  // Random graph sizing (ring + chords, cf. the fuzzer's topology).
+  int graph_nodes = 32;
+  int graph_chords = 8;
+  double graph_bw_bps = 10e6;
+  sim::Duration graph_delay = sim::Duration::millis(5);
+  std::size_t graph_queue = 50;
+
+  tcp::TcpConfig tcp;
+  core::TcpPrConfig pr;
+  std::uint64_t seed = 1;
+  sim::Duration max_start_stagger = sim::Duration::seconds(2);
+  sim::SchedulerBackend backend = sim::SchedulerBackend::kBinaryHeap;
+};
+
+std::unique_ptr<Scenario> make_many_flows(const ManyFlowsConfig& config);
 
 }  // namespace tcppr::harness

@@ -1,11 +1,15 @@
 // Pending-event set implementations for the scheduler.
 //
-// HeapQueue (a cache-friendly 4-ary implicit heap) is the default.
+// HeapQueue (a cache-friendly 8-ary implicit heap) is the default.
 // CalendarQueue (R. Brown, CACM 1988) is the classic O(1)-amortized
 // structure used by ns-2's scheduler; it wins when the event population is
 // large and arrival times are roughly uniform, which is exactly a loaded
-// packet simulation. Both order events by (time, insertion sequence) so
-// simulations are backend-independent — a property the test suite checks.
+// packet simulation. TimingWheelQueue (Varghese & Lauck, SOSP 1987) is the
+// hierarchical timing wheel: O(1) insert at any horizon and O(levels)
+// amortized extraction, the structure of choice when the timer population
+// is dominated by per-flow deadline timers at many-flow scale. All three
+// order events by (time, insertion sequence) so simulations are
+// backend-independent — a property the test suite checks.
 #pragma once
 
 #include <cstddef>
@@ -148,6 +152,98 @@ class CalendarQueue final : public EventQueue {
   std::int64_t year_start_ns_ = 0;  // time at bucket 0 of current round
   std::size_t size_ = 0;
   TimePoint last_popped_;
+};
+
+// Hierarchical timing wheel (Varghese & Lauck, SOSP 1987): kLevels wheels
+// of 256 slots each, level L slots spanning 2^(8L) ns, for a total
+// in-wheel horizon of 2^48 ns (~78 simulated hours) past the wheel's
+// current position. An event lands at the level of the highest byte in
+// which its time differs from the position, so insert is O(1): one bucket
+// append plus one occupancy-bit set. Extraction scans the per-level
+// 256-bit occupancy bitmaps for the lowest nonempty (level, slot); a hit
+// above level 0 cascades — the bucket is redistributed one level down,
+// amortizing to O(kLevels) bucket moves per event. Level-0 slots are one
+// nanosecond wide, so a level-0 bucket holds only same-time events, and
+// bucket order is insertion order: the (time, seq) FIFO contract falls out
+// structurally instead of from comparisons.
+//
+// Events beyond the horizon overflow into a sorted run (descending, like a
+// calendar bucket: the minimum pops from the back) and migrate into the
+// wheel when it drains down to them. Pushes behind the wheel position —
+// legal for the standalone structure after a stale entry beyond a
+// run_until deadline was popped — trigger a full re-seat of the wheel at
+// the earlier time; the scheduler's own schedule_at(t >= now) discipline
+// makes this a cold path.
+class TimingWheelQueue final : public EventQueue {
+ public:
+  static constexpr std::size_t kLevelBits = 8;
+  static constexpr std::size_t kSlots = 1u << kLevelBits;  // 256
+  static constexpr std::size_t kLevels = 6;
+  // Ticks are nanoseconds; the wheel covers [pos, pos + kHorizonNs).
+  static constexpr std::int64_t kHorizonNs =
+      std::int64_t{1} << (kLevelBits * kLevels);
+  static_assert(kSlots / 64 == 4, "unmark() unrolls four bitmap words");
+
+  TimingWheelQueue();
+  TimingWheelQueue(const TimingWheelQueue&) = delete;
+  TimingWheelQueue& operator=(const TimingWheelQueue&) = delete;
+
+  void push(const QueuedEvent& event) override;
+  std::optional<QueuedEvent> pop_min() override;
+  std::optional<QueuedEvent> peek_min() override;
+  void clear() override;
+  std::size_t size() const override { return size_; }
+
+  // Introspection for tests.
+  std::size_t overflow_size() const { return overflow_.size(); }
+  std::uint64_t cascades() const { return cascades_; }
+  std::uint64_t reseats() const { return reseats_; }
+
+ private:
+  struct Bucket {
+    std::vector<QueuedEvent> events;
+  };
+
+  // Level of the highest byte in which tick differs from pos_ (0 when
+  // equal); kLevels and above means "beyond the wheel horizon".
+  std::size_t level_of(std::int64_t tick) const;
+  Bucket& bucket(std::size_t level, std::size_t slot) {
+    return buckets_[level * kSlots + slot];
+  }
+  void mark(std::size_t level, std::size_t slot) {
+    occupied_[level][slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    levels_mask_ |= std::uint32_t{1} << level;
+  }
+  void unmark(std::size_t level, std::size_t slot) {
+    occupied_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+    if ((occupied_[level][0] | occupied_[level][1] | occupied_[level][2] |
+         occupied_[level][3]) == 0) {
+      levels_mask_ &= ~(std::uint32_t{1} << level);
+    }
+  }
+  // First occupied slot at `level`, or kSlots when the level is empty.
+  std::size_t first_occupied(std::size_t level) const;
+  // Files the event into its wheel bucket or the overflow run.
+  void insert(const QueuedEvent& event);
+  // Rebuilds the wheel around an earlier position (push behind pos_).
+  void reseat(std::int64_t new_pos);
+  // Re-seats the wheel at the overflow minimum and migrates every
+  // overflow event now inside the horizon. Pre: wheel empty, overflow not.
+  void migrate_overflow();
+  // Lowest (level, slot) holding the wheel minimum; false when the wheel
+  // part is empty.
+  bool find_min_bucket(std::size_t& level, std::size_t& slot) const;
+
+  std::vector<Bucket> buckets_;  // kLevels * kSlots, level-major
+  std::uint64_t occupied_[kLevels][kSlots / 64] = {};
+  std::uint32_t levels_mask_ = 0;  // bit L set <=> level L has a set bit
+  std::int64_t pos_ = 0;  // wheel position: no pending event is earlier
+  std::size_t wheel_size_ = 0;
+  std::size_t size_ = 0;
+  std::vector<QueuedEvent> overflow_;  // sorted descending; min at back
+  std::vector<QueuedEvent> scratch_;   // cascade/reseat staging
+  std::uint64_t cascades_ = 0;
+  std::uint64_t reseats_ = 0;
 };
 
 }  // namespace tcppr::sim

@@ -15,6 +15,9 @@ Scheduler::Scheduler(SchedulerBackend backend) {
     case SchedulerBackend::kCalendarQueue:
       queue_ = std::make_unique<CalendarQueue>();
       break;
+    case SchedulerBackend::kTimingWheel:
+      queue_ = std::make_unique<TimingWheelQueue>();
+      break;
   }
   TCPPR_CHECK(queue_ != nullptr);
 }

@@ -13,9 +13,11 @@
 // occupant. Cancellation is lazy: the slot is released immediately and the
 // queue entry is skipped on pop. The pending-event set is pluggable
 // (binary heap by default, calendar queue like ns-2's scheduler for large
-// event populations); see sim/event_queue.hpp.
+// event populations, hierarchical timing wheel for many-flow timer
+// workloads); see sim/event_queue.hpp.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <type_traits>
@@ -38,7 +40,7 @@ struct EventId {
   friend constexpr bool operator==(EventId, EventId) = default;
 };
 
-enum class SchedulerBackend { kBinaryHeap, kCalendarQueue };
+enum class SchedulerBackend { kBinaryHeap, kCalendarQueue, kTimingWheel };
 
 class Scheduler {
  public:
@@ -94,6 +96,10 @@ class Scheduler {
 
   std::size_t pending_count() const { return live_count_; }
   std::uint64_t processed_count() const { return processed_; }
+  // Entries in the pending-event set, including lazily-cancelled stales —
+  // the population the backend actually pays for. pending_count() <=
+  // queued_count(); the gap is the stale load cancellation churn creates.
+  std::size_t queued_count() const { return queue_->size(); }
 
  private:
   static constexpr std::uint32_t kFreeListEnd = 0xffffffffu;
@@ -201,6 +207,84 @@ class Timer {
  private:
   Scheduler& sched_;
   EventId id_{};
+};
+
+// Coalesced deadline timer: a fixed callback armed against a movable
+// deadline, designed for the TCP pattern "re-arm on every ack". A plain
+// Timer turns each re-arm into cancel + schedule; with lazy cancellation
+// every cancel leaves a stale entry in the pending-event set, so a flow
+// re-arming per ack carries O(acks-per-RTT) stale entries instead of one.
+// DeadlineTimer keeps at most ONE physical event alive and never cancels
+// it when the deadline moves later (the overwhelmingly common direction —
+// deadlines track the head-of-line send time, which only advances): the
+// old shot fires early, notices the target moved, and silently reschedules
+// itself at the current target. Only a deadline moving *earlier* (rare:
+// e.g. an RTT-estimate decay) pays a cancel. Net effect: pending-event
+// population scales with flows, not packets-in-flight, and the callback
+// still runs at exactly the armed deadline.
+class DeadlineTimer {
+ public:
+  template <typename F>
+  DeadlineTimer(Scheduler& sched, F&& f)
+      : sched_(sched), cb_(std::forward<F>(f)) {}
+  ~DeadlineTimer() { cancel(); }
+  DeadlineTimer(const DeadlineTimer&) = delete;
+  DeadlineTimer& operator=(const DeadlineTimer&) = delete;
+
+  // Arms (or re-arms) the callback to run at `deadline`. Clamped to now()
+  // if in the past. Keeps the in-flight physical event whenever it already
+  // fires at or before the new deadline.
+  void arm(TimePoint deadline) {
+    target_ = deadline;
+    armed_ = true;
+    if (id_.valid()) {
+      if (scheduled_at_ <= deadline) return;  // early shot defers on fire
+      sched_.cancel(id_);
+    }
+    schedule_physical(deadline);
+  }
+
+  // Hard cancel: the physical event is removed (lazily, like Timer), so
+  // a cancelled DeadlineTimer holds no live event and cannot fire.
+  void cancel() {
+    armed_ = false;
+    if (id_.valid()) {
+      sched_.cancel(id_);
+      id_ = EventId{};
+    }
+  }
+
+  // Logical armed state: true iff the callback will run (at deadline()).
+  bool armed() const { return armed_; }
+  TimePoint deadline() const { return target_; }
+  // True while a physical scheduler event exists (for tests; one per armed
+  // timer by construction).
+  bool physically_scheduled() const {
+    return id_.valid() && sched_.is_pending(id_);
+  }
+
+ private:
+  void schedule_physical(TimePoint t) {
+    scheduled_at_ = std::max(t, sched_.now());
+    id_ = sched_.schedule_at(scheduled_at_, [this] { on_fire(); });
+  }
+  void on_fire() {
+    id_ = EventId{};
+    if (target_ > sched_.now()) {
+      // Deferred: the deadline moved later after this shot was scheduled.
+      schedule_physical(target_);
+      return;
+    }
+    armed_ = false;  // before cb_ so the callback may re-arm
+    cb_();
+  }
+
+  Scheduler& sched_;
+  Scheduler::Callback cb_;
+  EventId id_{};
+  TimePoint scheduled_at_;  // time of the physical event behind id_
+  TimePoint target_;        // armed deadline (>= scheduled_at_ when live)
+  bool armed_ = false;
 };
 
 }  // namespace tcppr::sim

@@ -15,7 +15,7 @@ RenoSender::RenoSender(net::Network& network, net::NodeId local,
       ssthresh_(config.max_cwnd),
       rto_(RtoEstimator::Params{config.initial_rto, config.min_rto,
                                 config.max_rto}),
-      rto_timer_(network.scheduler()) {}
+      rto_timer_(network.scheduler(), [this] { on_timeout(); }) {}
 
 void RenoSender::on_start() {
   send_new_data();
@@ -39,7 +39,7 @@ SenderInvariantView RenoSender::invariant_view() const {
   v.rto = rto_.rto();
   v.min_rto = rto_.params().min;
   v.max_rto = rto_.params().max;
-  v.rtx_timer_armed = rto_timer_.pending();
+  v.rtx_timer_armed = rto_timer_.armed();
   v.rtx_timer_needed = started() && flight_size() > 0;
   v.rtx_timer_strict = true;
   return v;
@@ -61,7 +61,7 @@ void RenoSender::send_new_data() {
     ++info.tx_count;
     transmit_segment(snd_nxt_, rtx, next_tx_serial_++);
     ++snd_nxt_;
-    if (!rto_timer_.pending()) restart_rto_timer();
+    if (!rto_timer_.armed()) restart_rto_timer();
   }
 }
 
@@ -77,7 +77,7 @@ void RenoSender::restart_rto_timer() {
     rto_timer_.cancel();
     return;
   }
-  rto_timer_.schedule_in(rto_.rto(), [this] { on_timeout(); });
+  rto_timer_.arm(now() + rto_.rto());
 }
 
 void RenoSender::sample_rtt(SeqNo newly_acked_up_to) {

@@ -67,7 +67,7 @@ class RenoSender : public SenderBase {
   std::map<SeqNo, TxInfo> tx_info_;  // [snd_una_, snd_nxt_)
 
   RtoEstimator rto_;
-  sim::Timer rto_timer_;
+  sim::DeadlineTimer rto_timer_;
 };
 
 class NewRenoSender : public RenoSender {

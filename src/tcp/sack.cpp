@@ -17,7 +17,7 @@ SackSender::SackSender(net::Network& network, net::NodeId local,
       dupthresh_(config.dupthresh),
       rto_(RtoEstimator::Params{config.initial_rto, config.min_rto,
                                 config.max_rto}),
-      rto_timer_(network.scheduler()) {}
+      rto_timer_(network.scheduler(), [this] { on_timeout(); }) {}
 
 void SackSender::on_start() {
   send_more();
@@ -39,7 +39,7 @@ SenderInvariantView SackSender::invariant_view() const {
   v.rto = rto_.rto();
   v.min_rto = rto_.params().min;
   v.max_rto = rto_.params().max;
-  v.rtx_timer_armed = rto_timer_.pending();
+  v.rtx_timer_armed = rto_timer_.armed();
   v.rtx_timer_needed = started() && snd_nxt_ > snd_una_;
   v.rtx_timer_strict = true;
   // Scoreboard structure (RFC 3517): every mark lives inside the window,
@@ -271,7 +271,7 @@ void SackSender::send_more() {
     } else {
       break;
     }
-    if (!rto_timer_.pending()) restart_rto_timer();
+    if (!rto_timer_.armed()) restart_rto_timer();
   }
 }
 
@@ -280,7 +280,7 @@ void SackSender::restart_rto_timer() {
     rto_timer_.cancel();
     return;
   }
-  rto_timer_.schedule_in(rto_.rto(), [this] { on_timeout(); });
+  rto_timer_.arm(now() + rto_.rto());
 }
 
 void SackSender::on_timeout() {

@@ -105,7 +105,7 @@ class SackSender : public SenderBase {
 
   std::uint32_t next_tx_serial_ = 1;
   RtoEstimator rto_;
-  sim::Timer rto_timer_;
+  sim::DeadlineTimer rto_timer_;
 };
 
 }  // namespace tcppr::tcp

@@ -66,6 +66,9 @@ struct SenderInvariantView {
   sim::Duration rto = sim::Duration::zero();
   sim::Duration min_rto = sim::Duration::zero();
   sim::Duration max_rto = sim::Duration::zero();
+  // Logical armed state of the loss-detection timer (DeadlineTimer::armed:
+  // the callback will run, whether or not the physical scheduler event is
+  // currently parked at an earlier deferred shot).
   bool rtx_timer_armed = false;
   bool rtx_timer_needed = false;  // data outstanding
   // true: armed <=> needed. false: only needed => armed is required

@@ -15,7 +15,7 @@ TdFrSender::TdFrSender(net::Network& network, net::NodeId local,
                       c.limited_transmit = true;
                       return c;
                     }(config)),
-      fr_timer_(network.scheduler()) {}
+      fr_timer_(network.scheduler(), [this] { on_timer(); }) {}
 
 sim::Duration TdFrSender::wait_threshold() const {
   // max(RTT/2, DT). Before an RTT sample exists, fall back to the initial
@@ -54,7 +54,7 @@ void TdFrSender::arm_timer() {
     on_timer();
     return;
   }
-  fr_timer_.schedule_at(deadline, [this] { on_timer(); });
+  fr_timer_.arm(deadline);
 }
 
 void TdFrSender::on_timer() {

@@ -25,7 +25,7 @@ class TdFrSender final : public NewRenoSender {
              FlowId flow, TcpConfig config = {});
 
   const char* algorithm() const override { return "td-fr"; }
-  bool wait_timer_armed() const { return fr_timer_.pending(); }
+  bool wait_timer_armed() const { return fr_timer_.armed(); }
   sim::Duration current_dt() const { return dt_; }
   sim::Duration learned_episode_time() const { return dt_ewma_; }
 
@@ -41,7 +41,7 @@ class TdFrSender final : public NewRenoSender {
   void on_timer();
   sim::Duration wait_threshold() const;
 
-  sim::Timer fr_timer_;
+  sim::DeadlineTimer fr_timer_;
   sim::TimePoint first_dupack_at_;
   sim::Duration dt_ = sim::Duration::zero();  // t(3rd dupack) - t(1st)
   sim::Duration dt_ewma_ = sim::Duration::zero();  // learned episode time

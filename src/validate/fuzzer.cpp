@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <string>
+#include <system_error>
 #include <utility>
 
 #include "harness/parallel.hpp"
@@ -61,20 +64,26 @@ FuzzCase sample_fuzz_case(std::uint64_t seed) {
 }
 
 std::string describe(const FuzzCase& c) {
-  char buf[256];
+  char buf[288];
   std::string variants;
   for (const auto v : c.variants) {
     if (!variants.empty()) variants += ",";
     variants += harness::to_string(v);
   }
+  const char* queue = c.backend == sim::SchedulerBackend::kCalendarQueue
+                          ? "calendar"
+                      : c.backend == sim::SchedulerBackend::kTimingWheel
+                          ? "wheel"
+                          : "heap";
   std::snprintf(
       buf, sizeof(buf),
       "topology=%s flows=%d variants=[%s] dur=%.2fs cross=%d loss=%.4f "
-      "jitter=%.1fms flap=%d(up=%.2fs,down=%.2fs) reconf=%d eps=%g nodes=%d",
+      "jitter=%.1fms flap=%d(up=%.2fs,down=%.2fs) reconf=%d eps=%g nodes=%d "
+      "queue=%s",
       to_string(c.topology), c.flows, variants.c_str(), c.duration_s,
       c.cross_traffic ? 1 : 0, c.loss_rate, c.jitter_ms, c.flap ? 1 : 0,
       c.flap_mean_up_s, c.flap_mean_down_s, c.reconfigure_mid_run ? 1 : 0,
-      c.epsilon, c.graph_nodes);
+      c.epsilon, c.graph_nodes, queue);
   return buf;
 }
 
@@ -82,7 +91,7 @@ namespace {
 
 std::unique_ptr<harness::Scenario> build_random_graph(const FuzzCase& c,
                                                       sim::Rng& rng) {
-  auto s = std::make_unique<harness::Scenario>();
+  auto s = std::make_unique<harness::Scenario>(c.backend);
   net::Network& nw = s->network;
   const int n = std::max(4, c.graph_nodes);
   for (int i = 0; i < n; ++i) nw.add_node();
@@ -132,6 +141,7 @@ std::unique_ptr<harness::Scenario> build_scenario(const FuzzCase& c,
       cfg.pr_flows = 0;
       cfg.sack_flows = 0;
       cfg.seed = c.seed;
+      cfg.backend = c.backend;
       auto s = harness::make_dumbbell(cfg);
       for (int i = 0; i < c.flows; ++i) {
         const auto start = sim::TimePoint::from_seconds(rng.uniform(0.0, 1.0));
@@ -146,6 +156,7 @@ std::unique_ptr<harness::Scenario> build_scenario(const FuzzCase& c,
       cfg.sack_flows = 0;
       cfg.with_cross_traffic = c.cross_traffic;
       cfg.seed = c.seed;
+      cfg.backend = c.backend;
       auto s = harness::make_parking_lot(cfg);
       for (int i = 0; i < c.flows; ++i) {
         const auto start = sim::TimePoint::from_seconds(rng.uniform(0.0, 1.0));
@@ -160,6 +171,7 @@ std::unique_ptr<harness::Scenario> build_scenario(const FuzzCase& c,
                                        : c.variants.front();
       cfg.epsilon = c.epsilon;
       cfg.seed = c.seed;
+      cfg.backend = c.backend;
       return harness::make_multipath(cfg);
     }
     case FuzzCase::Topology::kRandomGraph:
@@ -300,7 +312,8 @@ FuzzCase minimize_fuzz_case(const FuzzCase& failing, int max_runs) {
 }
 
 int run_fuzz_campaign(std::uint64_t first_seed, int count, int jobs,
-                      bool quiet) {
+                      bool quiet, const std::string& artifact_dir,
+                      sim::SchedulerBackend backend) {
   struct CellResult {
     bool ok = true;
     std::string failure;
@@ -308,7 +321,8 @@ int run_fuzz_campaign(std::uint64_t first_seed, int count, int jobs,
   std::vector<CellResult> results(static_cast<std::size_t>(count));
   harness::parallel_for(jobs, count, [&](int i) {
     const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
-    const FuzzCase c = sample_fuzz_case(seed);
+    FuzzCase c = sample_fuzz_case(seed);
+    c.backend = backend;
     const FuzzResult r = run_fuzz_case(c);
     if (!r.ok) {
       results[static_cast<std::size_t>(i)].ok = false;
@@ -317,18 +331,50 @@ int run_fuzz_campaign(std::uint64_t first_seed, int count, int jobs,
   });
 
   int failures = 0;
+  bool artifact_dir_ready = false;
   for (int i = 0; i < count; ++i) {
     if (results[static_cast<std::size_t>(i)].ok) continue;
     ++failures;
     const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
-    const FuzzCase c = sample_fuzz_case(seed);
+    FuzzCase c = sample_fuzz_case(seed);
+    c.backend = backend;
     std::fprintf(stderr, "FUZZ FAIL: tcppr_sim --fuzz-seed %llu  # %s\n",
                  static_cast<unsigned long long>(seed), describe(c).c_str());
     std::fprintf(stderr, "  first violation: %s\n",
                  results[static_cast<std::size_t>(i)].failure.c_str());
+    std::string minimized;
     if (!quiet) {
       const FuzzCase min = minimize_fuzz_case(c);
-      std::fprintf(stderr, "  minimized: %s\n", describe(min).c_str());
+      minimized = describe(min);
+      std::fprintf(stderr, "  minimized: %s\n", minimized.c_str());
+    }
+    if (!artifact_dir.empty()) {
+      if (!artifact_dir_ready) {
+        std::error_code ec;
+        std::filesystem::create_directories(artifact_dir, ec);
+        artifact_dir_ready = !ec;
+        if (ec) {
+          std::fprintf(stderr, "fuzz: cannot create artifact dir %s: %s\n",
+                       artifact_dir.c_str(), ec.message().c_str());
+        }
+      }
+      if (artifact_dir_ready) {
+        const std::string path = artifact_dir + "/fuzz-fail-" +
+                                 std::to_string(seed) + ".txt";
+        if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+          std::fprintf(f, "reproduce: tcppr_sim --fuzz-seed %llu\n",
+                       static_cast<unsigned long long>(seed));
+          std::fprintf(f, "config: %s\n", describe(c).c_str());
+          std::fprintf(f, "first violation: %s\n",
+                       results[static_cast<std::size_t>(i)].failure.c_str());
+          if (!minimized.empty()) {
+            std::fprintf(f, "minimized: %s\n", minimized.c_str());
+          }
+          std::fclose(f);
+        } else {
+          std::fprintf(stderr, "fuzz: cannot write %s\n", path.c_str());
+        }
+      }
     }
   }
   return failures;

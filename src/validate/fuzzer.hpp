@@ -41,6 +41,10 @@ struct FuzzCase {
   // Topology knobs.
   double epsilon = 0;   // multipath randomization (paper sweep values)
   int graph_nodes = 6;  // random graph only (ring + chords)
+  // Scheduler backend the scenario runs on. Never sampled (every backend
+  // must produce identical trajectories, so sampling it would add nothing);
+  // set explicitly by the backend-equivalence tests and --queue.
+  sim::SchedulerBackend backend = sim::SchedulerBackend::kBinaryHeap;
 
   // Mutation knobs for the checker's self-test. Never sampled by the
   // fuzzer; set explicitly by tests/validate_selftest.cpp.
@@ -77,7 +81,15 @@ FuzzCase minimize_fuzz_case(const FuzzCase& failing, int max_runs = 40);
 // Runs seeds [first_seed, first_seed + count) across `jobs` threads.
 // Prints one reproducer line per failing seed (plus its minimized form)
 // through std::fprintf(stderr, ...) and returns the number of failures.
-int run_fuzz_campaign(std::uint64_t first_seed, int count, int jobs,
-                      bool quiet = false);
+// When `artifact_dir` is non-empty it is created if needed and every
+// failing seed writes `fuzz-fail-<seed>.txt` there: the reproducer
+// command, the sampled config, the first violation, and (unless quiet)
+// the minimized config. CI uploads the directory so a red fuzz job
+// carries its own repro.
+// Every sampled case runs on `backend` (the sampler itself never varies it).
+int run_fuzz_campaign(
+    std::uint64_t first_seed, int count, int jobs, bool quiet = false,
+    const std::string& artifact_dir = "",
+    sim::SchedulerBackend backend = sim::SchedulerBackend::kBinaryHeap);
 
 }  // namespace tcppr::validate

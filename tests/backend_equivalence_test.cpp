@@ -1,0 +1,113 @@
+// Backend equivalence: every scheduler backend (binary heap, calendar
+// queue, timing wheel) must produce byte-identical delivery streams. The
+// DeliveryHasher digest over (time, flow, endpoints, seq, size, is_ack) is
+// the witness: equal hashes mean the backends agree on every delivery the
+// simulation made, in order.
+//
+// Two matrices:
+//   - 12 variants x 3 paper topologies x 3 backends (clean links), and
+//   - 200 fuzz seeds (faulty links, random topologies) heap vs wheel,
+//     sharded into 8 parameterized cases so ctest -j spreads the work.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "harness/scenarios.hpp"
+#include "validate/fuzzer.hpp"
+
+namespace tcppr::validate {
+namespace {
+
+constexpr sim::SchedulerBackend kBackends[] = {
+    sim::SchedulerBackend::kBinaryHeap,
+    sim::SchedulerBackend::kCalendarQueue,
+    sim::SchedulerBackend::kTimingWheel,
+};
+
+const char* backend_name(sim::SchedulerBackend backend) {
+  switch (backend) {
+    case sim::SchedulerBackend::kBinaryHeap:
+      return "heap";
+    case sim::SchedulerBackend::kCalendarQueue:
+      return "calendar";
+    case sim::SchedulerBackend::kTimingWheel:
+      return "wheel";
+  }
+  return "?";
+}
+
+FuzzResult run_on(FuzzCase c, sim::SchedulerBackend backend) {
+  c.backend = backend;
+  return run_fuzz_case(c);
+}
+
+class VariantBackendEquivalence
+    : public testing::TestWithParam<harness::TcpVariant> {};
+
+TEST_P(VariantBackendEquivalence, AllTopologiesHashIdentically) {
+  const FuzzCase::Topology topologies[] = {
+      FuzzCase::Topology::kDumbbell,
+      FuzzCase::Topology::kParkingLot,
+      FuzzCase::Topology::kMultipath,
+  };
+  for (const auto topology : topologies) {
+    FuzzCase c;
+    c.topology = topology;
+    c.flows = 1;
+    c.variants = {GetParam()};
+    c.duration_s = 2.0;
+    const FuzzResult reference = run_on(c, kBackends[0]);
+    EXPECT_TRUE(reference.ok)
+        << to_string(topology) << ": " << reference.first_violation;
+    EXPECT_GT(reference.delivered, 0u) << to_string(topology);
+    for (std::size_t i = 1; i < std::size(kBackends); ++i) {
+      const FuzzResult other = run_on(c, kBackends[i]);
+      EXPECT_EQ(other.delivery_hash, reference.delivery_hash)
+          << to_string(topology) << " on " << backend_name(kBackends[i])
+          << " diverged from heap";
+      EXPECT_EQ(other.delivered, reference.delivered)
+          << to_string(topology) << " on " << backend_name(kBackends[i]);
+    }
+  }
+}
+
+std::string variant_test_name(
+    const testing::TestParamInfo<harness::TcpVariant>& info) {
+  std::string name = harness::to_string(info.param);
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantBackendEquivalence,
+                         testing::ValuesIn(harness::all_variants()),
+                         variant_test_name);
+
+// 200 fuzz seeds, heap vs wheel, in 8 shards of 25 seeds each. The fuzz
+// sampler exercises faulty links (loss, jitter, flaps, reconfiguration)
+// and all four topologies, so this covers interleavings the clean matrix
+// above cannot reach.
+class FuzzSeedBackendEquivalence : public testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeedBackendEquivalence, WheelMatchesHeap) {
+  constexpr int kSeedsPerShard = 25;
+  const std::uint64_t first =
+      1 + static_cast<std::uint64_t>(GetParam()) * kSeedsPerShard;
+  for (std::uint64_t seed = first; seed < first + kSeedsPerShard; ++seed) {
+    const FuzzCase c = sample_fuzz_case(seed);
+    const FuzzResult heap = run_on(c, sim::SchedulerBackend::kBinaryHeap);
+    const FuzzResult wheel = run_on(c, sim::SchedulerBackend::kTimingWheel);
+    EXPECT_EQ(wheel.delivery_hash, heap.delivery_hash)
+        << "seed " << seed << " (" << describe(c) << ")";
+    EXPECT_EQ(wheel.delivered, heap.delivered) << "seed " << seed;
+    EXPECT_EQ(wheel.ok, heap.ok) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds1To200, FuzzSeedBackendEquivalence,
+                         testing::Range(0, 8));
+
+}  // namespace
+}  // namespace tcppr::validate

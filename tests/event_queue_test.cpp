@@ -115,13 +115,119 @@ TEST(HeapQueue, ClearEmptiesAndRestoresSortedMode) {
   EXPECT_EQ(q.pop_min()->seq, 1u);
 }
 
-TEST(CalendarQueue, RandomizedEquivalenceWithBinaryHeap) {
-  // Interleaved pushes and pops with random times: both backends must
+TEST(TimingWheelQueue, PopsInTimeOrder) {
+  TimingWheelQueue q;
+  q.push(ev(3.0, 1));
+  q.push(ev(1.0, 2));
+  q.push(ev(2.0, 3));
+  EXPECT_EQ(q.pop_min()->seq, 2u);
+  EXPECT_EQ(q.pop_min()->seq, 3u);
+  EXPECT_EQ(q.pop_min()->seq, 1u);
+  EXPECT_FALSE(q.pop_min().has_value());
+}
+
+TEST(TimingWheelQueue, TiesBreakByInsertionSeq) {
+  // Same-time events share a one-tick level-0 bucket; FIFO must hold even
+  // when the bucket was filled out of seq order and survived a cascade.
+  TimingWheelQueue q;
+  q.push(ev(10.0, 100));  // forces the 1.0s events through a cascade later
+  for (std::uint64_t i = 1; i <= 10; ++i) q.push(ev(1.0, i));
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    EXPECT_EQ(q.pop_min()->seq, i);
+  }
+  EXPECT_EQ(q.pop_min()->seq, 100u);
+}
+
+TEST(TimingWheelQueue, CascadeRedistributesAcrossLevels) {
+  // 1.0s = 10^9 ns needs byte 3 (level 3): popping it is an extract-min
+  // cascade — the minimum comes straight out of the level-3 bucket and the
+  // position advances to its time, so the adjacent-tick sibling re-files
+  // at level 0 in the same step.
+  TimingWheelQueue q;
+  q.push(ev(1.0, 1));
+  q.push(ev(1.0 + 1e-9, 2));  // adjacent tick, same high-level bucket
+  EXPECT_EQ(q.cascades(), 0u);
+  EXPECT_EQ(q.pop_min()->seq, 1u);
+  EXPECT_EQ(q.cascades(), 1u);
+  // The sibling was re-filed relative to the new position; popping it is a
+  // direct level-0 hit, no further cascade.
+  EXPECT_EQ(q.pop_min()->seq, 2u);
+  EXPECT_EQ(q.cascades(), 1u);
+}
+
+TEST(TimingWheelQueue, OverflowBeyondHorizonSpillsAndMigrates) {
+  // The wheel horizon is 2^48 ns (~78 h). Events beyond it go to the
+  // sorted overflow run and migrate into the wheel once it drains.
+  TimingWheelQueue q;
+  const double horizon_s =
+      static_cast<double>(TimingWheelQueue::kHorizonNs) * 1e-9;
+  q.push(ev(horizon_s + 7.0, 1));
+  q.push(ev(horizon_s + 3.0, 2));
+  q.push(ev(horizon_s + 3.0, 3));  // FIFO tie inside the overflow run
+  q.push(ev(1.0, 4));
+  EXPECT_EQ(q.overflow_size(), 3u);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.pop_min()->seq, 4u);
+  EXPECT_EQ(q.pop_min()->seq, 2u);  // wheel drained: overflow migrated
+  EXPECT_EQ(q.overflow_size(), 0u);
+  EXPECT_EQ(q.pop_min()->seq, 3u);
+  EXPECT_EQ(q.pop_min()->seq, 1u);
+  EXPECT_FALSE(q.pop_min().has_value());
+}
+
+TEST(TimingWheelQueue, PushBehindPositionReseats) {
+  // Popping advances the wheel position; the standalone structure must
+  // still accept earlier pushes (the scheduler's run_until pops stale
+  // entries past its deadline, so this can happen in real runs).
+  TimingWheelQueue q;
+  q.push(ev(5.0, 1));
+  EXPECT_EQ(q.pop_min()->seq, 1u);  // position is now at 5.0s
+  EXPECT_EQ(q.reseats(), 0u);
+  q.push(ev(2.0, 2));  // behind the position: full re-seat
+  EXPECT_EQ(q.reseats(), 1u);
+  q.push(ev(3.0, 3));
+  EXPECT_EQ(q.pop_min()->seq, 2u);
+  EXPECT_EQ(q.pop_min()->seq, 3u);
+  EXPECT_FALSE(q.pop_min().has_value());
+}
+
+TEST(TimingWheelQueue, PeekDoesNotPerturbOrdering) {
+  // peek_min is non-mutating: no cascade, no position advance. A push
+  // earlier than a peeked minimum must still pop first without a re-seat.
+  TimingWheelQueue q;
+  q.push(ev(4.0, 1));
+  ASSERT_TRUE(q.peek_min().has_value());
+  EXPECT_EQ(q.peek_min()->seq, 1u);
+  q.push(ev(1.0, 2));  // earlier than the peeked min
+  EXPECT_EQ(q.reseats(), 0u);
+  EXPECT_EQ(q.peek_min()->seq, 2u);
+  EXPECT_EQ(q.pop_min()->seq, 2u);
+  EXPECT_EQ(q.pop_min()->seq, 1u);
+}
+
+TEST(TimingWheelQueue, ClearEmptiesWheelAndOverflow) {
+  TimingWheelQueue q;
+  const double horizon_s =
+      static_cast<double>(TimingWheelQueue::kHorizonNs) * 1e-9;
+  for (std::uint64_t i = 0; i < 50; ++i) q.push(ev(0.01 * i, i));
+  q.push(ev(horizon_s + 1.0, 1000));
+  EXPECT_EQ(q.size(), 51u);
+  q.clear();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.overflow_size(), 0u);
+  EXPECT_FALSE(q.pop_min().has_value());
+  q.push(ev(1.0, 1));
+  EXPECT_EQ(q.pop_min()->seq, 1u);
+}
+
+TEST(EventQueueEquivalence, RandomizedAcrossAllBackends) {
+  // Interleaved pushes and pops with random times: all backends must
   // produce the identical pop sequence.
   Rng rng(12345);
   for (int round = 0; round < 5; ++round) {
     HeapQueue heap;
     CalendarQueue calendar;
+    TimingWheelQueue wheel;
     std::uint64_t seq = 0;
     double clock = 0;
     for (int op = 0; op < 4000; ++op) {
@@ -141,24 +247,33 @@ TEST(CalendarQueue, RandomizedEquivalenceWithBinaryHeap) {
         ++seq;
         heap.push(e);
         calendar.push(e);
+        wheel.push(e);
       } else {
         const auto a = heap.pop_min();
         const auto b = calendar.pop_min();
+        const auto c = wheel.pop_min();
         ASSERT_TRUE(a.has_value());
         ASSERT_TRUE(b.has_value());
+        ASSERT_TRUE(c.has_value());
         ASSERT_EQ(a->seq, b->seq) << "round " << round << " op " << op;
+        ASSERT_EQ(a->seq, c->seq) << "round " << round << " op " << op;
         ASSERT_EQ(a->time.as_nanos(), b->time.as_nanos());
+        ASSERT_EQ(a->time.as_nanos(), c->time.as_nanos());
         clock = a->time.as_seconds();  // times only move forward
       }
       ASSERT_EQ(heap.size(), calendar.size());
+      ASSERT_EQ(heap.size(), wheel.size());
     }
-    // Drain both.
+    // Drain all three.
     for (;;) {
       const auto a = heap.pop_min();
       const auto b = calendar.pop_min();
+      const auto c = wheel.pop_min();
       ASSERT_EQ(a.has_value(), b.has_value());
+      ASSERT_EQ(a.has_value(), c.has_value());
       if (!a.has_value()) break;
       ASSERT_EQ(a->seq, b->seq);
+      ASSERT_EQ(a->seq, c->seq);
     }
   }
 }
@@ -216,8 +331,9 @@ TEST(SchedulerBackend, FullSimulationIdenticalAcrossBackends) {
                            pr.stats().retransmissions,
                            sack.stats().retransmissions);
   };
-  EXPECT_EQ(run(SchedulerBackend::kBinaryHeap),
-            run(SchedulerBackend::kCalendarQueue));
+  const auto heap_result = run(SchedulerBackend::kBinaryHeap);
+  EXPECT_EQ(heap_result, run(SchedulerBackend::kCalendarQueue));
+  EXPECT_EQ(heap_result, run(SchedulerBackend::kTimingWheel));
 }
 
 }  // namespace

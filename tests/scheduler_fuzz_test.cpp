@@ -155,15 +155,18 @@ TEST_P(SchedulerFuzz, MatchesReferenceModel) {
 std::string fuzz_case_name(
     const ::testing::TestParamInfo<SchedulerFuzz::ParamType>& info) {
   const auto [backend, seed] = info.param;
-  return std::string(backend == SchedulerBackend::kBinaryHeap ? "heap_"
-                                                              : "calendar_") +
-         std::to_string(seed);
+  const char* name = backend == SchedulerBackend::kBinaryHeap ? "heap_"
+                     : backend == SchedulerBackend::kCalendarQueue
+                         ? "calendar_"
+                         : "wheel_";
+  return std::string(name) + std::to_string(seed);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     BackendsAndSeeds, SchedulerFuzz,
     ::testing::Combine(::testing::Values(SchedulerBackend::kBinaryHeap,
-                                         SchedulerBackend::kCalendarQueue),
+                                         SchedulerBackend::kCalendarQueue,
+                                         SchedulerBackend::kTimingWheel),
                        ::testing::Values(1u, 22u, 333u, 4444u)),
     fuzz_case_name);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -332,6 +333,109 @@ TEST(Timer, DestructorCancels) {
   {
     Timer timer(sched);
     timer.schedule_in(Duration::seconds(1), [&] { ran = true; });
+  }
+  sched.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(DeadlineTimer, FiresOnceAtTheDeadline) {
+  Scheduler sched;
+  int fired = 0;
+  TimePoint fire_time;
+  DeadlineTimer timer(sched, [&] {
+    ++fired;
+    fire_time = sched.now();
+  });
+  timer.arm(TimePoint::origin() + Duration::millis(10));
+  EXPECT_TRUE(timer.armed());
+  sched.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(fire_time.as_nanos(), Duration::millis(10).as_nanos());
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(DeadlineTimer, MonotoneRearmsKeepOnePhysicalEvent) {
+  // The coalescing contract: pushing the deadline out must not touch the
+  // scheduler (no cancel, no new event, no stale queue entry). This is
+  // what keeps the pending-event population O(flows) when every ACK
+  // advances a flow's drop deadline.
+  Scheduler sched;
+  int fired = 0;
+  DeadlineTimer timer(sched, [&] { ++fired; });
+  timer.arm(TimePoint::origin() + Duration::millis(1));
+  const std::size_t one_event = sched.queued_count();
+  for (int i = 2; i <= 1000; ++i) {
+    timer.arm(TimePoint::origin() + Duration::millis(i));
+  }
+  EXPECT_EQ(sched.queued_count(), one_event);
+  sched.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now().as_nanos(), Duration::millis(1000).as_nanos());
+}
+
+TEST(DeadlineTimer, EarlyShotDefersWithoutFiring) {
+  // arm(later) leaves the physical event parked at the earlier time; when
+  // it goes off before the logical deadline, the callback must not run —
+  // the timer re-schedules itself at the target instead.
+  Scheduler sched;
+  int fired = 0;
+  DeadlineTimer timer(sched, [&] { ++fired; });
+  timer.arm(TimePoint::origin() + Duration::millis(10));
+  timer.arm(TimePoint::origin() + Duration::millis(50));
+  sched.run_until(TimePoint::origin() + Duration::millis(20));
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(timer.armed());
+  sched.run_until(TimePoint::origin() + Duration::millis(60));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(DeadlineTimer, RearmEarlierFiresAtTheNewDeadline) {
+  Scheduler sched;
+  int fired = 0;
+  TimePoint fire_time;
+  DeadlineTimer timer(sched, [&] {
+    ++fired;
+    fire_time = sched.now();
+  });
+  timer.arm(TimePoint::origin() + Duration::millis(50));
+  timer.arm(TimePoint::origin() + Duration::millis(10));
+  sched.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(fire_time.as_nanos(), Duration::millis(10).as_nanos());
+}
+
+TEST(DeadlineTimer, CancelPreventsFire) {
+  Scheduler sched;
+  int fired = 0;
+  DeadlineTimer timer(sched, [&] { ++fired; });
+  timer.arm(TimePoint::origin() + Duration::millis(5));
+  timer.cancel();
+  EXPECT_FALSE(timer.armed());
+  sched.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(DeadlineTimer, CallbackMayRearm) {
+  Scheduler sched;
+  int fired = 0;
+  std::optional<DeadlineTimer> timer;
+  timer.emplace(sched, [&] {
+    ++fired;
+    if (fired < 3) timer->arm(sched.now() + Duration::millis(5));
+  });
+  timer->arm(TimePoint::origin() + Duration::millis(5));
+  sched.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sched.now().as_nanos(), Duration::millis(15).as_nanos());
+}
+
+TEST(DeadlineTimer, DestructorCancels) {
+  Scheduler sched;
+  bool ran = false;
+  {
+    DeadlineTimer timer(sched, [&] { ran = true; });
+    timer.arm(TimePoint::origin() + Duration::millis(1));
   }
   sched.run();
   EXPECT_FALSE(ran);

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: fail CI when the engine got slower.
+
+Compares a current benchmark run against the committed baseline
+(BENCH_engine.json at the repo root) and exits non-zero when any gated
+benchmark regressed by more than the threshold (default 15%).
+
+Gated benchmarks — the engine cost centers this repo optimizes:
+    BM_SchedulerScheduleRun/*   event queue push/pop throughput
+    BM_SchedulerCancel          lazy-cancellation path
+    BM_DumbbellSimulation/*     end-to-end simulation throughput
+
+CI runners are not the box the baseline was recorded on, so raw
+nanoseconds are not comparable across machines. The gate calibrates with
+the pure-compute benchmarks (Newton iteration, libm pow, RNG) that have no
+allocator, cache, or data-structure component: the median current/baseline
+ratio over those estimates the machine-speed factor, and gated benchmarks
+are judged after dividing it out. On the same machine the factor is ~1 and
+the gate degenerates to a plain 15% check.
+
+Inputs may be BENCH_engine.json-style reports ({"benchmarks": {name:
+{after_ns}}}) or raw google-benchmark JSON; the format is detected per
+file.
+
+Usage:
+    python3 tools/bench_check.py --current CURRENT.json
+                                 [--baseline BENCH_engine.json]
+                                 [--threshold 0.15]
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import statistics
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+GATED_PATTERNS = [
+    r"^BM_SchedulerScheduleRun(/|$)",
+    r"^BM_SchedulerCancel$",
+    r"^BM_DumbbellSimulation(/|$)",
+]
+
+# Pure-compute benchmarks used to estimate the machine-speed factor.
+CALIBRATION_NAMES = ["BM_NewtonAlphaRoot", "BM_ExactPow", "BM_RngUniform"]
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """Returns {benchmark_name: real_time_ns} from either JSON format."""
+    with open(path) as f:
+        raw = json.load(f)
+    times = {}
+    if isinstance(raw.get("benchmarks"), dict):  # BENCH_engine.json report
+        for name, row in raw["benchmarks"].items():
+            if row.get("after_ns") is not None:
+                times[name] = float(row["after_ns"])
+        return times
+    for b in raw.get("benchmarks", []):  # raw google-benchmark JSON
+        if b.get("error_occurred"):
+            continue
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+            continue
+        name = b.get("run_name", b["name"])
+        times[name] = b["real_time"] * TIME_UNIT_NS[b["time_unit"]]
+    return times
+
+
+def machine_factor(current, baseline):
+    """Median current/baseline ratio over the calibration benchmarks."""
+    ratios = []
+    for name in CALIBRATION_NAMES:
+        if name in current and name in baseline and baseline[name] > 0:
+            ratios.append(current[name] / baseline[name])
+    if not ratios:
+        return 1.0, 0
+    factor = statistics.median(ratios)
+    # A wildly off factor means the calibration set itself changed; cap the
+    # correction rather than let it launder a real regression.
+    return min(max(factor, 0.25), 4.0), len(ratios)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True,
+                        help="benchmark JSON for the build under test")
+    parser.add_argument("--baseline",
+                        default=str(REPO_ROOT / "BENCH_engine.json"),
+                        help="baseline JSON (default: committed "
+                             "BENCH_engine.json)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed slowdown fraction (default 0.15)")
+    args = parser.parse_args()
+
+    for path in (args.current, args.baseline):
+        if not pathlib.Path(path).exists():
+            sys.exit(f"error: {path} not found")
+
+    current = load_times(args.current)
+    baseline = load_times(args.baseline)
+    if not current:
+        sys.exit(f"error: no benchmark results in {args.current}")
+
+    factor, calib_n = machine_factor(current, baseline)
+    print(f"machine-speed factor: {factor:.3f} "
+          f"(from {calib_n} calibration benchmark(s))")
+
+    gated = re.compile("|".join(GATED_PATTERNS))
+    checked = 0
+    failures = []
+    for name in sorted(baseline):
+        if not gated.search(name):
+            continue
+        if name not in current:
+            print(f"  MISSING  {name} (in baseline, absent from current run)")
+            failures.append(name)
+            continue
+        checked += 1
+        adjusted = current[name] / factor
+        change = adjusted / baseline[name] - 1.0
+        verdict = "OK"
+        if change > args.threshold:
+            verdict = "REGRESSED"
+            failures.append(name)
+        print(f"  {verdict:<9} {name}: baseline {baseline[name] / 1e6:.3f} ms, "
+              f"current {current[name] / 1e6:.3f} ms "
+              f"(adjusted {adjusted / 1e6:.3f} ms, {change:+.1%})")
+
+    if checked == 0 and not failures:
+        sys.exit("error: no gated benchmarks found in the baseline — "
+                 "regenerate BENCH_engine.json with tools/bench_engine.py")
+    if failures:
+        sys.exit(f"FAIL: {len(failures)} gated benchmark(s) regressed more "
+                 f"than {args.threshold:.0%}: {', '.join(failures)}")
+    print(f"PASS: {checked} gated benchmark(s) within {args.threshold:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Run the engine micro-benchmarks and record before/after numbers.
+"""Run the engine benchmarks and record before/after numbers.
 
-Runs bench/micro_engine (google-benchmark) from a Release build, compares
-each benchmark against a recorded baseline, and writes BENCH_engine.json at
-the repository root:
+Runs bench/micro_engine and bench/scale_flows (google-benchmark) from a
+Release build, compares each benchmark against a recorded baseline, and
+writes BENCH_engine.json at the repository root:
 
     {"context": {...}, "benchmarks": {name: {baseline_ns, after_ns, speedup}}}
 
@@ -16,10 +16,14 @@ e.g. one captured with:
 
     ./build/bench/micro_engine --benchmark_format=json > baseline.json
 
+Exits non-zero when a benchmark binary is missing, crashes, exits with an
+error, or reports a per-benchmark error (google-benchmark error_occurred),
+so CI cannot silently record a partial run.
+
 Usage:
     python3 tools/bench_engine.py [--build-dir build] [--out BENCH_engine.json]
                                   [--baseline FILE] [--filter REGEX]
-                                  [--repetitions N]
+                                  [--repetitions N] [--skip-scale]
 """
 
 import argparse
@@ -49,14 +53,57 @@ def to_ns(value, unit):
 
 
 def load_benchmark_json(raw):
-    """Extracts {name: real_time_ns} plus the context block."""
+    """Extracts {name: real_time_ns} plus the context block.
+
+    Returns (context, times, errors) where errors lists benchmarks that
+    reported error_occurred instead of a measurement.
+    """
     times = {}
+    errors = []
     for b in raw.get("benchmarks", []):
+        name = b.get("run_name", b["name"])
+        if b.get("error_occurred"):
+            errors.append(f"{name}: {b.get('error_message', 'unknown error')}")
+            continue
         if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
             continue
-        name = b.get("run_name", b["name"])
         times[name] = to_ns(b["real_time"], b["time_unit"])
-    return raw.get("context", {}), times
+    return raw.get("context", {}), times, errors
+
+
+def run_binary(binary, args):
+    """Runs one google-benchmark binary; returns (context, times).
+
+    Exits non-zero on any failure mode: missing binary, crash, nonzero
+    exit, unparseable output, or per-benchmark errors.
+    """
+    if not binary.exists():
+        sys.exit(f"error: {binary} not found — build with "
+                 f"cmake -S . -B {args.build_dir} -DCMAKE_BUILD_TYPE=Release "
+                 f"&& cmake --build {args.build_dir} --target {binary.name}")
+    cmd = [str(binary), "--benchmark_format=json"]
+    if args.filter:
+        cmd.append(f"--benchmark_filter={args.filter}")
+    if args.repetitions > 1:
+        cmd.append(f"--benchmark_repetitions={args.repetitions}")
+        cmd.append("--benchmark_report_aggregates_only=true")
+    print(f"running: {' '.join(cmd)}", file=sys.stderr)
+    run = subprocess.run(cmd, capture_output=True, text=True)
+    if run.returncode != 0:
+        sys.stderr.write(run.stderr)
+        sys.exit(f"error: {binary.name} exited with status {run.returncode}")
+    try:
+        raw = json.loads(run.stdout)
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {binary.name} produced unparseable JSON: {e}")
+    context, times, errors = load_benchmark_json(raw)
+    if errors:
+        for line in errors:
+            print(f"error: {binary.name}: {line}", file=sys.stderr)
+        sys.exit(f"error: {len(errors)} benchmark(s) failed in {binary.name}")
+    if not times:
+        sys.exit(f"error: {binary.name} reported no benchmark results")
+    return context, times
 
 
 def main():
@@ -72,30 +119,28 @@ def main():
                         help="--benchmark_filter regex passed through")
     parser.add_argument("--repetitions", type=int, default=0,
                         help="--benchmark_repetitions (median is kept)")
+    parser.add_argument("--skip-scale", action="store_true",
+                        help="run only micro_engine (skip scale_flows)")
     args = parser.parse_args()
 
     if args.baseline and not pathlib.Path(args.baseline).exists():
         sys.exit(f"error: baseline file {args.baseline} not found")
 
-    binary = (REPO_ROOT / args.build_dir / "bench" / "micro_engine")
-    if not binary.exists():
-        sys.exit(f"error: {binary} not found — build with "
-                 f"cmake -S . -B {args.build_dir} -DCMAKE_BUILD_TYPE=Release "
-                 f"&& cmake --build {args.build_dir} --target micro_engine")
+    bench_dir = REPO_ROOT / args.build_dir / "bench"
+    binaries = [bench_dir / "micro_engine"]
+    if not args.skip_scale:
+        binaries.append(bench_dir / "scale_flows")
 
-    cmd = [str(binary), "--benchmark_format=json"]
-    if args.filter:
-        cmd.append(f"--benchmark_filter={args.filter}")
-    if args.repetitions > 1:
-        cmd.append(f"--benchmark_repetitions={args.repetitions}")
-        cmd.append("--benchmark_report_aggregates_only=true")
-    print(f"running: {' '.join(cmd)}", file=sys.stderr)
-    run = subprocess.run(cmd, capture_output=True, text=True, check=True)
-    context, after = load_benchmark_json(json.loads(run.stdout))
+    context = {}
+    after = {}
+    for binary in binaries:
+        ctx, times = run_binary(binary, args)
+        context = context or ctx
+        after.update(times)
 
     if args.baseline:
         with open(args.baseline) as f:
-            _, baseline = load_benchmark_json(json.load(f))
+            _, baseline, _ = load_benchmark_json(json.load(f))
         baseline_source = args.baseline
     else:
         baseline = dict(EMBEDDED_BASELINE_NS)

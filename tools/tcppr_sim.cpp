@@ -33,9 +33,12 @@ using harness::TcpVariant;
 struct Args {
   std::string topology = "dumbbell";
   std::string variant = "tcp-pr";
+  std::string queue = "heap";
   double epsilon = 0;
   int pr_flows = 2;
   int sack_flows = 2;
+  int flows = 256;           // many-flows topologies
+  double pr_fraction = 0.5;  // many-flows variant mix
   double duration_s = 60;
   double measured_s = 30;
   double bottleneck_mbps = 15;
@@ -50,7 +53,15 @@ struct Args {
   int fuzz_count = 0;
   std::optional<std::uint64_t> fuzz_seed;
   int jobs = 1;
+  std::string fuzz_artifacts;
 };
+
+std::optional<sim::SchedulerBackend> parse_backend(const std::string& name) {
+  if (name == "heap") return sim::SchedulerBackend::kBinaryHeap;
+  if (name == "calendar") return sim::SchedulerBackend::kCalendarQueue;
+  if (name == "wheel") return sim::SchedulerBackend::kTimingWheel;
+  return std::nullopt;
+}
 
 std::optional<TcpVariant> parse_variant(const std::string& name) {
   for (const TcpVariant v : harness::all_variants()) {
@@ -62,13 +73,17 @@ std::optional<TcpVariant> parse_variant(const std::string& name) {
 void usage() {
   std::printf(
       "tcppr_sim — run one simulation scenario\n\n"
-      "  --topology dumbbell|parking-lot|multipath   (default dumbbell)\n"
+      "  --topology dumbbell|parking-lot|multipath|many-flows|\n"
+      "             many-flows-graph                  (default dumbbell)\n"
       "  --variant <name>      sender for multipath runs (default tcp-pr)\n"
       "                        names: tcp-pr sack reno newreno tahoe td-fr\n"
       "                        dsack-nm inc-by-1 inc-by-n ewma eifel tcp-door\n"
+      "  --queue heap|calendar|wheel  scheduler backend (default heap)\n"
       "  --epsilon <e>         multipath spread parameter (default 0)\n"
       "  --pr-flows <n>        dumbbell/parking-lot TCP-PR flows (default 2)\n"
       "  --sack-flows <n>      dumbbell/parking-lot TCP-SACK flows (default 2)\n"
+      "  --flows <n>           many-flows flow count, 1..4096 (default 256)\n"
+      "  --pr-fraction <f>     many-flows TCP-PR share (default 0.5)\n"
       "  --duration <s>        total simulated seconds (default 60)\n"
       "  --measured <s>        trailing measurement window (default 30)\n"
       "  --bottleneck <mbps>   dumbbell bottleneck (default 15)\n"
@@ -83,6 +98,8 @@ void usage() {
       "                        exit and a report on any violation\n"
       "  --fuzz <n>            fuzz campaign over seeds [--seed, --seed+n)\n"
       "  --fuzz-seed <n>       replay one fuzz case under the checker\n"
+      "  --fuzz-artifacts <dir>  write per-seed reproducer files for\n"
+      "                        failing fuzz seeds into <dir>\n"
       "  --jobs <j>            fuzz campaign worker threads (default 1)\n");
 }
 
@@ -99,6 +116,12 @@ bool parse(int argc, char** argv, Args& args) {
       args.topology = next();
     } else if (flag == "--variant") {
       args.variant = next();
+    } else if (flag == "--queue") {
+      args.queue = next();
+    } else if (flag == "--flows") {
+      args.flows = std::atoi(next());
+    } else if (flag == "--pr-fraction") {
+      args.pr_fraction = std::atof(next());
     } else if (flag == "--epsilon") {
       args.epsilon = std::atof(next());
     } else if (flag == "--pr-flows") {
@@ -131,6 +154,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.fuzz_count = std::atoi(next());
     } else if (flag == "--fuzz-seed") {
       args.fuzz_seed = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--fuzz-artifacts") {
+      args.fuzz_artifacts = next();
     } else if (flag == "--jobs") {
       args.jobs = std::atoi(next());
     } else {
@@ -142,10 +167,32 @@ bool parse(int argc, char** argv, Args& args) {
   return true;
 }
 
-std::unique_ptr<harness::Scenario> build(const Args& args) {
+std::unique_ptr<harness::Scenario> build(const Args& args,
+                                         sim::SchedulerBackend backend) {
   core::TcpPrConfig pr;
   pr.alpha = args.alpha;
   pr.beta = args.beta;
+  if (args.topology == "many-flows" || args.topology == "many-flows-graph") {
+    harness::ManyFlowsConfig config;
+    config.topology = args.topology == "many-flows-graph"
+                          ? harness::ManyFlowsConfig::Topology::kRandomGraph
+                          : harness::ManyFlowsConfig::Topology::kDumbbell;
+    if (args.flows < 1 || args.flows > harness::ManyFlowsConfig::kMaxFlows) {
+      std::fprintf(stderr, "--flows must be in 1..%d\n",
+                   harness::ManyFlowsConfig::kMaxFlows);
+      return nullptr;
+    }
+    config.flows = args.flows;
+    config.pr_fraction = args.pr_fraction;
+    if (args.link_delay_ms > 0) {
+      config.bottleneck_delay = sim::Duration::millis(args.link_delay_ms);
+      config.graph_delay = sim::Duration::millis(args.link_delay_ms);
+    }
+    config.pr = pr;
+    config.seed = args.seed;
+    config.backend = backend;
+    return harness::make_many_flows(config);
+  }
   if (args.topology == "dumbbell") {
     harness::DumbbellConfig config;
     config.pr_flows = args.pr_flows;
@@ -156,6 +203,7 @@ std::unique_ptr<harness::Scenario> build(const Args& args) {
     }
     config.pr = pr;
     config.seed = args.seed;
+    config.backend = backend;
     return harness::make_dumbbell(config);
   }
   if (args.topology == "parking-lot") {
@@ -167,6 +215,7 @@ std::unique_ptr<harness::Scenario> build(const Args& args) {
     }
     config.pr = pr;
     config.seed = args.seed;
+    config.backend = backend;
     return harness::make_parking_lot(config);
   }
   if (args.topology == "multipath") {
@@ -183,6 +232,7 @@ std::unique_ptr<harness::Scenario> build(const Args& args) {
     }
     config.pr = pr;
     config.seed = args.seed;
+    config.backend = backend;
     return harness::make_multipath(config);
   }
   std::fprintf(stderr, "unknown topology %s\n", args.topology.c_str());
@@ -194,9 +244,16 @@ std::unique_ptr<harness::Scenario> build(const Args& args) {
 int main(int argc, char** argv) {
   Args args;
   if (!parse(argc, argv, args)) return 1;
+  const auto backend = parse_backend(args.queue);
+  if (!backend) {
+    std::fprintf(stderr, "unknown queue backend %s (heap|calendar|wheel)\n",
+                 args.queue.c_str());
+    return 1;
+  }
 
   if (args.fuzz_seed) {
-    const auto c = validate::sample_fuzz_case(*args.fuzz_seed);
+    auto c = validate::sample_fuzz_case(*args.fuzz_seed);
+    c.backend = *backend;
     std::printf("fuzz seed %llu: %s\n",
                 static_cast<unsigned long long>(*args.fuzz_seed),
                 validate::describe(c).c_str());
@@ -216,13 +273,14 @@ int main(int argc, char** argv) {
   }
   if (args.fuzz_count > 0) {
     const int failures = validate::run_fuzz_campaign(
-        args.seed, args.fuzz_count, args.jobs);
+        args.seed, args.fuzz_count, args.jobs, /*quiet=*/false,
+        args.fuzz_artifacts, *backend);
     std::printf("fuzz: %d/%d seeds clean\n", args.fuzz_count - failures,
                 args.fuzz_count);
     return failures == 0 ? 0 : 1;
   }
 
-  auto scenario = build(args);
+  auto scenario = build(args, *backend);
   if (!scenario) return 1;
 
   std::unique_ptr<trace::FileTrace> trace_file;
@@ -266,22 +324,46 @@ int main(int argc, char** argv) {
   const auto result = run_scenario(*scenario, window);
   if (checker) checker->finalize();
 
-  std::printf("topology=%s duration=%.0fs measured=%.0fs seed=%llu\n",
-              args.topology.c_str(), args.duration_s, args.measured_s,
-              static_cast<unsigned long long>(args.seed));
-  std::printf("%-4s %-9s %12s %12s %8s %6s %6s %6s\n", "flow", "variant",
-              "thr (kbps)", "goodput", "rtx", "spur", "to", "halv");
+  std::printf("topology=%s queue=%s duration=%.0fs measured=%.0fs seed=%llu\n",
+              args.topology.c_str(), args.queue.c_str(), args.duration_s,
+              args.measured_s, static_cast<unsigned long long>(args.seed));
   const auto norm = result.normalized();
-  for (std::size_t i = 0; i < result.flows.size(); ++i) {
-    const auto& f = result.flows[i];
-    std::printf("%-4d %-9s %12.0f %12.0f %8llu %6llu %6llu %6llu\n",
-                static_cast<int>(f.flow), to_string(f.variant),
-                f.throughput_bps / 1e3, f.goodput_bps / 1e3,
-                static_cast<unsigned long long>(f.sender.retransmissions),
-                static_cast<unsigned long long>(
-                    f.sender.spurious_retransmits_detected),
-                static_cast<unsigned long long>(f.sender.timeouts),
-                static_cast<unsigned long long>(f.sender.cwnd_halvings));
+  if (result.flows.size() <= 32) {
+    std::printf("%-4s %-9s %12s %12s %8s %6s %6s %6s\n", "flow", "variant",
+                "thr (kbps)", "goodput", "rtx", "spur", "to", "halv");
+    for (std::size_t i = 0; i < result.flows.size(); ++i) {
+      const auto& f = result.flows[i];
+      std::printf("%-4d %-9s %12.0f %12.0f %8llu %6llu %6llu %6llu\n",
+                  static_cast<int>(f.flow), to_string(f.variant),
+                  f.throughput_bps / 1e3, f.goodput_bps / 1e3,
+                  static_cast<unsigned long long>(f.sender.retransmissions),
+                  static_cast<unsigned long long>(
+                      f.sender.spurious_retransmits_detected),
+                  static_cast<unsigned long long>(f.sender.timeouts),
+                  static_cast<unsigned long long>(f.sender.cwnd_halvings));
+    }
+  } else {
+    // Per-flow tables are unreadable at many-flows scale; print per-variant
+    // aggregates instead.
+    std::printf("%-9s %6s %14s %14s %10s %8s\n", "variant", "flows",
+                "mean thr", "total thr", "rtx", "to");
+    for (const TcpVariant v : harness::all_variants()) {
+      double total_bps = 0;
+      std::uint64_t rtx = 0, to = 0;
+      int n = 0;
+      for (const auto& f : result.flows) {
+        if (f.variant != v) continue;
+        ++n;
+        total_bps += f.throughput_bps;
+        rtx += f.sender.retransmissions;
+        to += f.sender.timeouts;
+      }
+      if (n == 0) continue;
+      std::printf("%-9s %6d %12.0f k %12.0f k %10llu %8llu\n", to_string(v), n,
+                  total_bps / n / 1e3, total_bps / 1e3,
+                  static_cast<unsigned long long>(rtx),
+                  static_cast<unsigned long long>(to));
+    }
   }
   std::printf("\nloss rate %.2f%%, %llu events processed\n",
               100.0 * result.loss_rate,
