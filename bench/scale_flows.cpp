@@ -18,6 +18,7 @@
 
 #include <functional>
 
+#include "harness/parallel_run.hpp"
 #include "harness/scenarios.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -97,6 +98,34 @@ BENCHMARK(BM_ScaleFlowsDumbbell)
 BENCHMARK(BM_ScaleFlowsDumbbell)
     ->Args({4096, 0})
     ->Args({4096, 2})
+    ->Unit(benchmark::kMillisecond);
+
+// Sequential-vs-parallel rows: the same N-flow dumbbell through the
+// parallel harness at 1/2/4/8 LPs (heap backend). lps:1 is the canonical
+// stamped one-shard run — its gap to BM_ScaleFlowsDumbbell is the pure
+// stamping overhead; lps >= 2 adds threads. Speedup only materializes with
+// as many cores as LPs; the regression gate skips lps > 1 rows on
+// single-core runners (tools/bench_check.py).
+void BM_ScaleFlowsParallel(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  const int lps = static_cast<int>(state.range(1));
+  std::uint64_t realized = 0;
+  for (auto _ : state) {
+    harness::ManyFlowsConfig config;
+    config.flows = flows;
+    auto scenario = harness::make_many_flows(config);
+    harness::ParallelRunConfig pc;
+    pc.lps = lps;
+    harness::ParallelSim psim(*scenario, pc);
+    psim.run_until(sim::TimePoint::from_seconds(2));
+    realized = static_cast<std::uint64_t>(psim.lp_count());
+    benchmark::DoNotOptimize(psim.events_processed());
+  }
+  state.counters["lps"] = static_cast<double>(realized);
+}
+BENCHMARK(BM_ScaleFlowsParallel)
+    ->ArgNames({"flows", "lps"})
+    ->ArgsProduct({{256, 1024, 4096}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

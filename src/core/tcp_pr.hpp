@@ -121,6 +121,14 @@ class TcpPrSender final : public tcp::SenderBase {
   // declared drop when off — the src/obs discipline).
   void enable_validation() { validate_ = true; }
 
+  void rebind_scheduler(sim::Scheduler& shard) override {
+    tcp::SenderBase::rebind_scheduler(shard);
+    drop_timer_.rebind(shard);
+    drop_timer_.set_stamp_entity(static_cast<std::uint32_t>(local_node()));
+    unblock_timer_.rebind(shard);
+    unblock_timer_.set_stamp_entity(static_cast<std::uint32_t>(local_node()));
+  }
+
   enum class Mode { kSlowStart, kCongestionAvoidance };
   Mode mode() const { return mode_; }
   double ssthresh() const { return ssthr_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "harness/parallel_run.hpp"
 #include "util/check.hpp"
 
 namespace tcppr::harness {
@@ -47,25 +48,34 @@ int RunResult::count(TcpVariant variant) const {
   return n;
 }
 
-RunResult run_scenario(Scenario& scenario, const MeasurementWindow& window) {
+RunResult run_scenario(Scenario& scenario, const MeasurementWindow& window,
+                       ParallelSim* psim) {
   TCPPR_CHECK(window.measured <= window.total);
   const sim::TimePoint t_end =
       sim::TimePoint::origin() + window.total;
   const sim::TimePoint t_mark = t_end - window.measured;
 
-  scenario.sched.run_until(t_mark);
+  const auto run_to = [&](sim::TimePoint t) {
+    if (psim != nullptr) {
+      psim->run_until(t);  // all shards stop at the barrier: reads are safe
+    } else {
+      scenario.sched.run_until(t);
+    }
+  };
+  run_to(t_mark);
   std::vector<std::uint64_t> acked_at_mark;
   std::vector<std::uint64_t> goodput_at_mark;
   for (std::size_t i = 0; i < scenario.senders.size(); ++i) {
     acked_at_mark.push_back(scenario.senders[i]->stats().bytes_newly_acked);
     goodput_at_mark.push_back(scenario.receivers[i]->stats().goodput_bytes);
   }
-  scenario.sched.run_until(t_end);
+  run_to(t_end);
 
   RunResult result;
   result.measure_seconds = window.measured.as_seconds();
   result.loss_rate = scenario.bottleneck_loss_rate();
-  result.events = scenario.sched.processed_count();
+  result.events = psim != nullptr ? psim->events_processed()
+                                  : scenario.sched.processed_count();
   for (std::size_t i = 0; i < scenario.senders.size(); ++i) {
     FlowResult fr;
     fr.variant = scenario.variants[i];

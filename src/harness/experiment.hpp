@@ -13,6 +13,8 @@
 
 namespace tcppr::harness {
 
+class ParallelSim;
+
 struct MeasurementWindow {
   sim::Duration total = sim::Duration::seconds(160);
   sim::Duration measured = sim::Duration::seconds(60);  // trailing window
@@ -44,8 +46,11 @@ struct RunResult {
 };
 
 // Runs the scenario to window.total, measuring the trailing
-// window.measured seconds.
-RunResult run_scenario(Scenario& scenario, const MeasurementWindow& window);
+// window.measured seconds. When `psim` is non-null the simulation runs
+// through the parallel harness (which must wrap this very scenario);
+// results are byte-identical either way.
+RunResult run_scenario(Scenario& scenario, const MeasurementWindow& window,
+                       ParallelSim* psim = nullptr);
 
 // One Figure 6 cell: single flow over the multi-path mesh; returns the
 // measured goodput in bps.

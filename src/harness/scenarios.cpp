@@ -103,6 +103,12 @@ std::unique_ptr<tcp::SenderBase> make_sender(
   return nullptr;
 }
 
+void Scenario::schedule_action(sim::TimePoint at, net::NodeId affinity,
+                               std::function<void()> fn) {
+  const sim::EventId id = sched.schedule_at(at, fn);
+  deferred.push_back(DeferredAction{id, at, affinity, std::move(fn)});
+}
+
 void Scenario::add_flow(TcpVariant variant, net::NodeId src, net::NodeId dst,
                         net::FlowId flow, const tcp::TcpConfig& tcp_config,
                         const core::TcpPrConfig& pr_config,
@@ -116,7 +122,7 @@ void Scenario::add_flow(TcpVariant variant, net::NodeId src, net::NodeId dst,
                                 pr_config));
   variants.push_back(variant);
   tcp::SenderBase* sender = senders.back().get();
-  sched.schedule_at(start, [sender] { sender->start(); });
+  schedule_action(start, src, [sender] { sender->start(); });
 }
 
 void Scenario::add_cross_flow(net::NodeId src, net::NodeId dst,
@@ -131,7 +137,7 @@ void Scenario::add_cross_flow(net::NodeId src, net::NodeId dst,
   cross_senders.push_back(std::make_unique<tcp::SackSender>(
       network, src, dst, flow, tcp_config));
   tcp::SenderBase* sender = cross_senders.back().get();
-  sched.schedule_at(start, [sender] { sender->start(); });
+  schedule_action(start, src, [sender] { sender->start(); });
 }
 
 void Scenario::attach_observability(obs::MetricRegistry& registry,

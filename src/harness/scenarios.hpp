@@ -6,6 +6,7 @@
 //     length, 10 Mbps links, 100-packet queues), Figure 6.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -50,11 +51,17 @@ std::unique_ptr<tcp::SenderBase> make_sender(
 struct Scenario {
   explicit Scenario(
       sim::SchedulerBackend backend = sim::SchedulerBackend::kBinaryHeap)
-      : sched(backend), network(sched) {}
+      : backend(backend), sched(backend), network(sched) {}
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;
 
+  sim::SchedulerBackend backend;
   sim::Scheduler sched;
+  // Scheduler shards in parallel mode (populated by harness::ParallelSim;
+  // empty in sequential runs). Owned by the Scenario and declared before
+  // the network and the endpoints so senders/receivers — whose destructors
+  // cancel timers rebound onto these shards — are destroyed first.
+  std::vector<std::unique_ptr<sim::Scheduler>> lp_scheds;
   net::Network network;
   net::NodeId src_host = net::kInvalidNode;
   net::NodeId dst_host = net::kInvalidNode;
@@ -74,6 +81,24 @@ struct Scenario {
 
   // Periodic queue samplers created by attach_observability (src/obs).
   std::vector<std::unique_ptr<obs::QueueProbe>> queue_probes;
+
+  // Build-time scheduled actions (flow starts, fault injections), recorded
+  // so parallel-mode adoption can cancel them on the main scheduler and
+  // re-schedule each into the shard owning `affinity`'s node. Sequential
+  // runs just execute the already-scheduled events and ignore this list.
+  struct DeferredAction {
+    sim::EventId id;        // event on the main scheduler
+    sim::TimePoint at;
+    net::NodeId affinity = net::kInvalidNode;
+    std::function<void()> fn;
+  };
+  std::vector<DeferredAction> deferred;
+
+  // Schedules `fn` at `at` and records it for parallel adoption.
+  // `affinity` names the node whose logical process must run the action
+  // (the objects it touches must be owned by that node's LP).
+  void schedule_action(sim::TimePoint at, net::NodeId affinity,
+                       std::function<void()> fn);
 
   // Adds a measured flow and schedules its start.
   void add_flow(TcpVariant variant, net::NodeId src, net::NodeId dst,

@@ -11,7 +11,7 @@ namespace tcppr::net {
 
 Link::Link(sim::Scheduler& sched, NodeId from, NodeId to, double bandwidth_bps,
            sim::Duration prop_delay, std::unique_ptr<Queue> queue)
-    : sched_(sched),
+    : sched_(&sched),
       from_(from),
       to_(to),
       bandwidth_bps_(bandwidth_bps),
@@ -22,7 +22,24 @@ Link::Link(sim::Scheduler& sched, NodeId from, NodeId to, double bandwidth_bps,
   TCPPR_CHECK(bandwidth_bps_ > 0);
   TCPPR_CHECK(prop_delay_ >= sim::Duration::zero());
   TCPPR_CHECK(queue_ != nullptr);
-  queue_->set_time_source(&sched_, bandwidth_bps_);
+  queue_->set_time_source(sched_, bandwidth_bps_);
+}
+
+void Link::set_scheduler(sim::Scheduler& sched) {
+  TCPPR_CHECK(!busy_ && in_transit_ == 0);
+  sched_ = &sched;
+  queue_->set_time_source(sched_, bandwidth_bps_);
+}
+
+void Link::set_remote_channel(CrossLinkChannel* channel) {
+  remote_ = channel;
+  if (channel != nullptr) {
+    TCPPR_CHECK(prop_delay_ > sim::Duration::zero());
+    lookahead_frozen_ = true;
+    frozen_lookahead_ = prop_delay_;
+  } else {
+    lookahead_frozen_ = false;
+  }
 }
 
 void Link::set_loss_model(double loss_rate, sim::Rng rng) {
@@ -36,7 +53,7 @@ void Link::set_bandwidth(double bandwidth_bps) {
   bandwidth_bps_ = bandwidth_bps;
   // In-progress transmissions keep their already-scheduled completion
   // time; only future dequeues see the new rate.
-  queue_->set_time_source(&sched_, bandwidth_bps_);
+  queue_->set_time_source(sched_, bandwidth_bps_);
 }
 
 void Link::set_jitter(sim::Duration max_jitter, sim::Rng rng) {
@@ -49,18 +66,18 @@ void Link::send(Packet&& pkt) {
   if (down_ || (drop_filter_ && drop_filter_(pkt))) {
     ++stats_.lost;
     if (tracer_) {
-      tracer_->emit(sched_.now(), trace::EventType::kLossDrop, pkt, from_,
+      tracer_->emit(sched_->now(), trace::EventType::kLossDrop, pkt, from_,
                     to_);
     }
     return;
   }
-  pkt.enqueued_at = sched_.now();
+  pkt.enqueued_at = sched_->now();
   if (tracer_ != nullptr && tracer_->active()) {
     // The queue consumes the packet either way; keep a copy so a rejection
     // can still be traced.
     Packet copy = pkt;
     const bool accepted = queue_->enqueue(std::move(pkt));
-    tracer_->emit(sched_.now(),
+    tracer_->emit(sched_->now(),
                   accepted ? trace::EventType::kEnqueue
                            : trace::EventType::kQueueDrop,
                   copy, from_, to_);
@@ -89,15 +106,15 @@ void Link::start_transmission() {
   busy_ = true;
   ++in_transit_;
   if (tracer_ != nullptr) {
-    tracer_->emit(sched_.now(), trace::EventType::kDequeue, *pkt, from_, to_);
+    tracer_->emit(sched_->now(), trace::EventType::kDequeue, *pkt, from_, to_);
   }
   const double tx_seconds =
       static_cast<double>(pkt->size_bytes) * 8.0 / bandwidth_bps_;
   // Check the packet out of the pool for its trip through the scheduler:
   // the {this, pooled pointer} capture fits the event slot's inline
   // callback buffer, so the completion event allocates nothing.
-  sched_.schedule_in(
-      sim::Duration::seconds(tx_seconds),
+  sched_->schedule_in_for(
+      sim::Duration::seconds(tx_seconds), static_cast<std::uint32_t>(from_),
       [this, p = pool().make(std::move(*pkt))]() mutable {
         on_tx_complete(std::move(p));
       });
@@ -113,7 +130,7 @@ void Link::on_tx_complete(PooledPacket pkt) {
     ++stats_.loss_model_lost;
     --in_transit_;
     if (tracer_ != nullptr) {
-      tracer_->emit(sched_.now(), trace::EventType::kLossDrop, *pkt, from_,
+      tracer_->emit(sched_->now(), trace::EventType::kLossDrop, *pkt, from_,
                     to_);
     }
     TCPPR_LOG_DEBUG("link", "loss-model drop on %d->%d", from_, to_);
@@ -125,7 +142,26 @@ void Link::on_tx_complete(PooledPacket pkt) {
     delivery_delay +=
         max_jitter_ * jitter_rng_.uniform();  // may reorder deliveries
   }
-  sched_.schedule_in(delivery_delay, [this, p = std::move(pkt)]() mutable {
+  if (remote_ != nullptr) {
+    // Cut link: the destination node lives on another shard. Source-side
+    // bookkeeping happens now (delivery is certain once the loss lottery
+    // above passed), the packet rides the mailbox, and the stamp minted
+    // here occupies exactly the op position the delivery-schedule call
+    // below holds in the sequential run — so the injected event ties
+    // against local events the same way the sequential scheduler would
+    // have broken them.
+    ++stats_.delivered;
+    stats_.bytes_delivered += pkt->size_bytes;
+    if (!skip_transit_decrement_) --in_transit_;
+    ++remote_->pushed;
+    remote_->buf.push_back(
+        CrossLinkMsg{sched_->now() + delivery_delay,
+                     sched_->make_stamp(static_cast<std::uint32_t>(from_)),
+                     std::move(*pkt)});
+    return;  // the pooled shell returns to this shard's pool
+  }
+  sched_->schedule_in_for(delivery_delay, static_cast<std::uint32_t>(from_),
+                          [this, p = std::move(pkt)]() mutable {
     ++stats_.delivered;
     stats_.bytes_delivered += p->size_bytes;
     if (!skip_transit_decrement_) --in_transit_;

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
@@ -34,6 +35,24 @@ struct LinkStats {
   std::uint64_t loss_model_lost = 0;  // subset of `lost`: Bernoulli model only
 };
 
+// Mailbox of one cut link in parallel mode: packets that finished their
+// loss lottery on the source shard and are travelling toward a node owned
+// by another shard. The source shard's thread appends during safe windows;
+// the coordinator drains at the barrier (the window/barrier phase
+// alternation is the synchronization — no locking). `stamp` is the
+// tie-break sequence minted on the source shard at push time, i.e. the
+// position the delivery-schedule op holds in the sequential run.
+struct CrossLinkMsg {
+  sim::TimePoint at;
+  std::uint64_t stamp = 0;
+  Packet pkt;
+};
+struct CrossLinkChannel {
+  std::vector<CrossLinkMsg> buf;   // written by the source shard's thread
+  std::uint64_t pushed = 0;        // source-thread counter
+  std::uint64_t executed = 0;      // destination-thread counter
+};
+
 class Link {
  public:
   Link(sim::Scheduler& sched, NodeId from, NodeId to, double bandwidth_bps,
@@ -51,8 +70,23 @@ class Link {
     pool_ = std::move(pool);
   }
   // Changes the propagation delay for future transmissions (mobility /
-  // route-change models).
-  void set_prop_delay(sim::Duration delay) { prop_delay_ = delay; }
+  // route-change models). Once the lookahead is frozen (parallel mode cut
+  // link) the delay may only grow: the safe-horizon computation baked the
+  // old delay in as this link's lookahead, and lowering it could let a
+  // packet arrive inside an already-executed window.
+  void set_prop_delay(sim::Duration delay) {
+    TCPPR_CHECK(!lookahead_frozen_ || delay >= frozen_lookahead_);
+    prop_delay_ = delay;
+  }
+  // --- Parallel-execution hooks (LP shard adoption) ----------------------
+  // Re-points the link at the scheduler shard that owns its source node.
+  // Only legal while idle (nothing transmitting or propagating).
+  void set_scheduler(sim::Scheduler& sched);
+  // Marks this link as a cut link: completed transmissions are pushed into
+  // `channel` instead of being scheduled locally, and the current
+  // propagation delay becomes the immutable lookahead floor.
+  void set_remote_channel(CrossLinkChannel* channel);
+  sim::Scheduler& scheduler() { return *sched_; }
   // Changes the drain rate for future transmissions (mid-run capacity
   // change; the fuzzer uses this to model route/handover bandwidth shifts).
   void set_bandwidth(double bandwidth_bps);
@@ -102,11 +136,14 @@ class Link {
   void on_tx_complete(PooledPacket pkt);
   PacketPool& pool();
 
-  sim::Scheduler& sched_;
+  sim::Scheduler* sched_;
   NodeId from_;
   NodeId to_;
   double bandwidth_bps_;
   sim::Duration prop_delay_;
+  CrossLinkChannel* remote_ = nullptr;
+  bool lookahead_frozen_ = false;
+  sim::Duration frozen_lookahead_ = sim::Duration::zero();
   std::unique_ptr<Queue> queue_;
   std::shared_ptr<PacketPool> pool_;
   Node* dst_node_ = nullptr;

@@ -9,7 +9,7 @@ namespace tcppr::net {
 
 LinkFlapper::LinkFlapper(sim::Scheduler& sched, std::vector<Link*> links,
                          Config config)
-    : sched_(sched),
+    : sched_(&sched),
       links_(std::move(links)),
       config_(config),
       rng_(config.seed),
@@ -32,13 +32,13 @@ void LinkFlapper::set_metric_registry(obs::MetricRegistry* registry,
 
 sim::Duration LinkFlapper::down_time() const {
   sim::Duration total = down_time_;
-  if (down_) total = total + (sched_.now() - down_since_);
+  if (down_) total = total + (sched_->now() - down_since_);
   return total;
 }
 
 void LinkFlapper::emit_metrics() {
   if (reg_ == nullptr || !reg_->active()) return;
-  const sim::TimePoint now = sched_.now();
+  const sim::TimePoint now = sched_->now();
   reg_->set(now, m_transitions_, kInvalidFlow,
             static_cast<double>(transitions_));
   reg_->set(now, m_down_, kInvalidFlow, down_ ? 1.0 : 0.0);
@@ -59,7 +59,7 @@ void LinkFlapper::stop() {
   timer_.cancel();
   if (down_) {
     for (Link* link : links_) link->set_down(false);
-    down_time_ = down_time_ + (sched_.now() - down_since_);
+    down_time_ = down_time_ + (sched_->now() - down_since_);
     down_ = false;
   }
   emit_metrics();
@@ -70,9 +70,9 @@ void LinkFlapper::toggle() {
   down_ = !down_;
   ++transitions_;
   if (down_) {
-    down_since_ = sched_.now();
+    down_since_ = sched_->now();
   } else {
-    down_time_ = down_time_ + (sched_.now() - down_since_);
+    down_time_ = down_time_ + (sched_->now() - down_since_);
   }
   for (Link* link : links_) link->set_down(down_);
   emit_metrics();

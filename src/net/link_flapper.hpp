@@ -33,6 +33,15 @@ class LinkFlapper {
 
   void start();
   void stop();
+  // Re-points the flapper at the scheduler shard owning its links
+  // (parallel-mode adoption). Only legal before start().
+  void rebind_scheduler(sim::Scheduler& shard) {
+    timer_.rebind(shard);
+    if (!links_.empty()) {
+      timer_.set_stamp_entity(static_cast<std::uint32_t>(links_.front()->from()));
+    }
+    sched_ = &shard;
+  }
   bool links_down() const { return down_; }
   std::uint64_t transitions() const { return transitions_; }
   // Cumulative time the link set has spent administratively down,
@@ -43,7 +52,7 @@ class LinkFlapper {
   void toggle();
   void emit_metrics();
 
-  sim::Scheduler& sched_;
+  sim::Scheduler* sched_;
   std::vector<Link*> links_;
   Config config_;
   sim::Rng rng_;

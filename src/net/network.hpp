@@ -2,6 +2,7 @@
 // uids. The harness builds topologies through this facade.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -55,7 +56,12 @@ class Network {
   const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
 
   sim::Scheduler& scheduler() { return sched_; }
-  std::uint64_t allocate_uid() { return next_uid_++; }
+  // Relaxed atomic: shards allocate uids concurrently in parallel mode.
+  // uids only label trace records (the determinism hash never folds them),
+  // so allocation order across shards is allowed to vary run to run.
+  std::uint64_t allocate_uid() {
+    return next_uid_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Recycling pool shared by every link: packets in flight across the
   // whole network draw from one free list.
@@ -96,7 +102,7 @@ class Network {
   std::shared_ptr<PacketPool> pool_ = PacketPool::create();
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
-  std::uint64_t next_uid_ = 1;
+  std::atomic<std::uint64_t> next_uid_{1};
 };
 
 }  // namespace tcppr::net

@@ -318,7 +318,21 @@ void TimingWheelQueue::insert(const QueuedEvent& event) {
   }
   const std::size_t slot =
       static_cast<std::size_t>(tick >> (kLevelBits * level)) & (kSlots - 1);
-  bucket(level, slot).events.push_back(event);
+  auto& events = bucket(level, slot).events;
+  if (level == 0 && !events.empty() && event.seq < events.back().seq) {
+    // A level-0 bucket holds only same-time events and pop_min/peek_min
+    // take its front as the FIFO minimum, which relies on the vector being
+    // in seq order. Pushes arrive in seq order from a single scheduler, so
+    // this branch is cold; it only fires for the parallel engine's barrier
+    // injection, where an event stamped on another shard can carry a
+    // smaller seq than an already-filed local event at the same tick.
+    const auto pos = std::upper_bound(
+        events.begin(), events.end(), event,
+        [](const QueuedEvent& a, const QueuedEvent& b) { return a.seq < b.seq; });
+    events.insert(pos, event);
+  } else {
+    events.push_back(event);
+  }
   mark(level, slot);
   ++wheel_size_;
 }

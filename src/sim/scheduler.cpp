@@ -80,7 +80,9 @@ void Scheduler::fire(const QueuedEvent& event) {
   --live_count_;
   ++processed_;
   now_ = event.time;
+  current_event_seq_ = event.seq;
   s.cb();
+  current_event_seq_ = 0;
   s.cb.reset();
   s.next_free = free_head_;
   free_head_ = index;
@@ -122,6 +124,39 @@ void Scheduler::run_until(TimePoint deadline) {
     fire(*event);
   }
   if (now_ < deadline) now_ = deadline;
+}
+
+void Scheduler::run_until_before(TimePoint horizon) {
+  stopped_ = false;
+  while (!stopped_) {
+    if (live_count_ == 0) {
+      queue_->clear();
+      break;
+    }
+    const auto next = queue_->peek_min();
+    if (!next) break;
+    if (!is_live(next->id)) {
+      queue_->pop_min();
+      continue;
+    }
+    if (next->time >= horizon) break;  // exclusive: horizon events wait
+    const auto event = queue_->pop_min();
+    fire(*event);
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+std::optional<TimePoint> Scheduler::next_deadline() {
+  if (live_count_ == 0) {
+    queue_->clear();
+    return std::nullopt;
+  }
+  for (;;) {
+    const auto next = queue_->peek_min();
+    if (!next) return std::nullopt;
+    if (is_live(next->id)) return next->time;
+    queue_->pop_min();
+  }
 }
 
 }  // namespace tcppr::sim

@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -60,8 +61,134 @@ class Scheduler {
 
   // Schedules cb at absolute time t (>= now). Templated so the callable is
   // constructed directly inside the event slot (no temporary wrapper).
+  // Illegal on a stamped shard (stamps need an owner — use *_for).
   template <typename F>
   EventId schedule_at(TimePoint t, F&& f) {
+    TCPPR_CHECK(!stamping_);
+    return schedule_with_seq(t, next_seq_++, std::forward<F>(f));
+  }
+  // Schedules cb after delay d (>= 0).
+  template <typename F>
+  EventId schedule_in(Duration d, F&& f) {
+    return schedule_at(delay_to_time(d), std::forward<F>(f));
+  }
+  // Owner-attributed variants: identical to schedule_at/in on an
+  // unstamped scheduler (the entity is ignored); on a stamped shard the
+  // entity keys the tie-break stamp. The entity is the node the minting
+  // component belongs to — a link's source node, a sender's host.
+  template <typename F>
+  EventId schedule_at_for(TimePoint t, std::uint32_t entity, F&& f) {
+    return schedule_with_seq(t, stamping_ ? make_stamp(entity) : next_seq_++,
+                             std::forward<F>(f));
+  }
+  template <typename F>
+  EventId schedule_in_for(Duration d, std::uint32_t entity, F&& f) {
+    return schedule_at_for(delay_to_time(d), entity, std::forward<F>(f));
+  }
+  // Schedules cb at t with a caller-provided tie-break sequence. The
+  // parallel engine uses this to inject cross-shard events carrying the
+  // stamp minted on the source shard, so same-time ties resolve in the
+  // canonical (schedule-time, owner node, op) order regardless of which
+  // shard the event lands on.
+  template <typename F>
+  EventId schedule_at_stamped(TimePoint t, std::uint64_t seq, F&& f) {
+    return schedule_with_seq(t, seq, std::forward<F>(f));
+  }
+
+  // --- Parallel-execution support (LP shards) ---------------------------
+  //
+  // In stamped mode every scheduling operation mints a 64-bit stamp
+  //   (current time ns + 1) << 24 | owner node << 10 | per-(node, time) idx
+  // used as the event's tie-break sequence, giving same-target-time events
+  // the canonical total order (target time, schedule time, owner node, op
+  // index). Every component's ops execute on the shard owning its node, so
+  // the per-node index needs no synchronization — and the order is
+  // independent of how nodes are grouped into shards: the same simulation
+  // stamped on 1, 2 or 8 shards executes byte-identically. The legacy
+  // unstamped order (global insertion counter) coincides with stamp order
+  // except when two different nodes schedule events for the same target
+  // time within the same nanosecond; the canonical order breaks that tie
+  // by node id, the legacy order by which op ran first.
+  //
+  // The +1 shift reserves the stamp range [0, 2^24) — "schedule time"
+  // before the simulation's first nanosecond — for build-time events
+  // adopted into shards before the run (harness/parallel_run.cpp stamps
+  // them with a plain build-order counter via schedule_at_stamped). They
+  // sort below every runtime stamp, exactly where the sequential
+  // scheduler's insertion order put them, and a scenario may carry up to
+  // 2^24 of them without touching the per-(node, ns) op budget.
+  static constexpr std::uint32_t kStampOpBits = 10;      // 1024 ops/node/ns
+  static constexpr std::uint32_t kStampEntityBits = 14;  // 16384 nodes
+  static constexpr std::uint32_t kStampTimeBits =
+      64 - kStampOpBits - kStampEntityBits;  // ~1100 s of simulated time
+
+  void enable_seq_stamping() {
+    stamping_ = true;
+    stamp_slots_.clear();
+  }
+  bool stamping() const { return stamping_; }
+  // Mints the next stamp for `entity` at the current time. Public because
+  // the cross-LP link path consumes a stamp at push time (the op position
+  // its sequential delivery-schedule op would have occupied).
+  std::uint64_t make_stamp(std::uint32_t entity) {
+    TCPPR_DCHECK(stamping_);
+    TCPPR_CHECK(entity < (1u << kStampEntityBits));
+    if (entity >= stamp_slots_.size()) {
+      stamp_slots_.resize(entity + 1, StampSlot{-1, 0});
+    }
+    StampSlot& slot = stamp_slots_[entity];
+    const std::int64_t u = now_.as_nanos() + 1;  // 0 = pre-run (see above)
+    if (u != slot.time_ns) {
+      slot.time_ns = u;
+      slot.count = 0;
+    }
+    TCPPR_CHECK(u >= 1 && u < (std::int64_t{1} << kStampTimeBits));
+    TCPPR_CHECK(slot.count < (1u << kStampOpBits));
+    return (static_cast<std::uint64_t>(u)
+            << (kStampOpBits + kStampEntityBits)) |
+           (static_cast<std::uint64_t>(entity) << kStampOpBits) |
+           slot.count++;
+  }
+  // Sequence of the event currently executing (0 outside fire). The
+  // parallel engine keys buffered trace records on it so barrier merges
+  // replay records in the same order the sequential run emitted them.
+  std::uint64_t current_event_seq() const { return current_event_seq_; }
+
+  // Returns true if the event was pending and is now cancelled.
+  bool cancel(EventId id);
+  bool is_pending(EventId id) const;
+
+  // Runs events until the queue drains or stop() is called.
+  void run();
+  // Runs events with time <= deadline; leaves later events queued and
+  // advances now() to the deadline.
+  void run_until(TimePoint deadline);
+  // Runs events with time strictly < horizon; leaves events at or after
+  // the horizon queued and advances now() to the horizon. The parallel
+  // engine's safe windows are exclusive so every event at exactly the
+  // horizon — local or injected at the barrier — executes in the next
+  // window, in merged stamp order.
+  void run_until_before(TimePoint horizon);
+  // Requests that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  // Earliest pending live event time, or nullopt when none. Lazily pops
+  // cancelled stale entries encountered at the front so the reported
+  // minimum is never a cancelled shot (an under-estimate here would
+  // shrink the parallel engine's safe horizon but a stale *earlier* than
+  // every live event would stall it at a fake deadline).
+  std::optional<TimePoint> next_deadline();
+
+  std::size_t pending_count() const { return live_count_; }
+  std::uint64_t processed_count() const { return processed_; }
+  // Entries in the pending-event set, including lazily-cancelled stales —
+  // the population the backend actually pays for. pending_count() <=
+  // queued_count(); the gap is the stale load cancellation churn creates.
+  std::size_t queued_count() const { return queue_->size(); }
+
+ private:
+  template <typename F>
+  EventId schedule_with_seq(TimePoint t, std::uint64_t seq, F&& f) {
     std::uint32_t index = acquire_slot(t);
     Slot& s = slot(index);
     if constexpr (std::is_same_v<std::decay_t<F>, Callback>) {
@@ -73,35 +200,10 @@ class Scheduler {
     ++live_count_;
     const std::uint64_t packed =
         (static_cast<std::uint64_t>(s.generation) << 32) | index;
-    queue_->push(QueuedEvent{t, next_seq_++, packed});
+    queue_->push(QueuedEvent{t, seq, packed});
     return EventId{packed};
   }
-  // Schedules cb after delay d (>= 0).
-  template <typename F>
-  EventId schedule_in(Duration d, F&& f) {
-    return schedule_at(delay_to_time(d), std::forward<F>(f));
-  }
 
-  // Returns true if the event was pending and is now cancelled.
-  bool cancel(EventId id);
-  bool is_pending(EventId id) const;
-
-  // Runs events until the queue drains or stop() is called.
-  void run();
-  // Runs events with time <= deadline; leaves later events queued and
-  // advances now() to the deadline.
-  void run_until(TimePoint deadline);
-  // Requests that run()/run_until() return after the current event.
-  void stop() { stopped_ = true; }
-
-  std::size_t pending_count() const { return live_count_; }
-  std::uint64_t processed_count() const { return processed_; }
-  // Entries in the pending-event set, including lazily-cancelled stales —
-  // the population the backend actually pays for. pending_count() <=
-  // queued_count(); the gap is the stale load cancellation churn creates.
-  std::size_t queued_count() const { return queue_->size(); }
-
- private:
   static constexpr std::uint32_t kFreeListEnd = 0xffffffffu;
   // Slots live in fixed-size chunks with stable addresses: growing the
   // arena never relocates live callbacks (a relocation would be an
@@ -158,6 +260,13 @@ class Scheduler {
   bool stopped_ = false;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  bool stamping_ = false;
+  struct StampSlot {
+    std::int64_t time_ns;
+    std::uint32_t count;
+  };
+  std::vector<StampSlot> stamp_slots_;  // indexed by owner entity (node id)
+  std::uint64_t current_event_seq_ = 0;
   std::size_t live_count_ = 0;
   std::unique_ptr<EventQueue> queue_;
   std::vector<Slot*> chunks_;  // raw aligned storage, lazily constructed
@@ -169,20 +278,31 @@ class Scheduler {
 // previous shot; destruction cancels the pending shot.
 class Timer {
  public:
-  explicit Timer(Scheduler& sched) : sched_(sched), id_{} {}
+  explicit Timer(Scheduler& sched) : sched_(&sched), id_{} {}
   ~Timer() { cancel(); }
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
 
+  // Re-points the timer at another scheduler (LP shard adoption). Only
+  // legal while no shot is pending — a pending id would dangle into the
+  // old scheduler's arena.
+  void rebind(Scheduler& sched) {
+    TCPPR_CHECK(!id_.valid());
+    sched_ = &sched;
+  }
+  // Sets the owner entity stamped onto every shot (the timer's node).
+  // Required before scheduling on a stamped shard; a no-op otherwise.
+  void set_stamp_entity(std::uint32_t entity) { stamp_entity_ = entity; }
+
   template <typename F>
   void schedule_at(TimePoint t, F&& f) {
     cancel();
-    id_ = sched_.schedule_at(t, std::forward<F>(f));
+    id_ = sched_->schedule_at_for(t, stamp_entity_, std::forward<F>(f));
   }
   template <typename F>
   void schedule_in(Duration d, F&& f) {
     cancel();
-    id_ = sched_.schedule_in(d, std::forward<F>(f));
+    id_ = sched_->schedule_in_for(d, stamp_entity_, std::forward<F>(f));
   }
   void cancel() {
     // GCC 12 reports a spurious -Wmaybe-uninitialized for id_ when this is
@@ -195,18 +315,19 @@ class Timer {
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
 #endif
     if (id_.valid()) {
-      sched_.cancel(id_);
+      sched_->cancel(id_);
       id_ = EventId{};
     }
 #if defined(__GNUC__) && !defined(__clang__) && __GNUC__ == 12
 #pragma GCC diagnostic pop
 #endif
   }
-  bool pending() const { return id_.valid() && sched_.is_pending(id_); }
+  bool pending() const { return id_.valid() && sched_->is_pending(id_); }
 
  private:
-  Scheduler& sched_;
+  Scheduler* sched_;
   EventId id_{};
+  std::uint32_t stamp_entity_ = 0;
 };
 
 // Coalesced deadline timer: a fixed callback armed against a movable
@@ -226,10 +347,19 @@ class DeadlineTimer {
  public:
   template <typename F>
   DeadlineTimer(Scheduler& sched, F&& f)
-      : sched_(sched), cb_(std::forward<F>(f)) {}
+      : sched_(&sched), cb_(std::forward<F>(f)) {}
   ~DeadlineTimer() { cancel(); }
   DeadlineTimer(const DeadlineTimer&) = delete;
   DeadlineTimer& operator=(const DeadlineTimer&) = delete;
+
+  // Re-points at another scheduler; only legal while disarmed with no
+  // physical shot in flight (LP shard adoption happens before the run).
+  void rebind(Scheduler& sched) {
+    TCPPR_CHECK(!armed_ && !id_.valid());
+    sched_ = &sched;
+  }
+  // Sets the owner entity stamped onto every shot (the timer's node).
+  void set_stamp_entity(std::uint32_t entity) { stamp_entity_ = entity; }
 
   // Arms (or re-arms) the callback to run at `deadline`. Clamped to now()
   // if in the past. Keeps the in-flight physical event whenever it already
@@ -239,7 +369,7 @@ class DeadlineTimer {
     armed_ = true;
     if (id_.valid()) {
       if (scheduled_at_ <= deadline) return;  // early shot defers on fire
-      sched_.cancel(id_);
+      sched_->cancel(id_);
     }
     schedule_physical(deadline);
   }
@@ -249,7 +379,7 @@ class DeadlineTimer {
   void cancel() {
     armed_ = false;
     if (id_.valid()) {
-      sched_.cancel(id_);
+      sched_->cancel(id_);
       id_ = EventId{};
     }
   }
@@ -260,17 +390,18 @@ class DeadlineTimer {
   // True while a physical scheduler event exists (for tests; one per armed
   // timer by construction).
   bool physically_scheduled() const {
-    return id_.valid() && sched_.is_pending(id_);
+    return id_.valid() && sched_->is_pending(id_);
   }
 
  private:
   void schedule_physical(TimePoint t) {
-    scheduled_at_ = std::max(t, sched_.now());
-    id_ = sched_.schedule_at(scheduled_at_, [this] { on_fire(); });
+    scheduled_at_ = std::max(t, sched_->now());
+    id_ = sched_->schedule_at_for(scheduled_at_, stamp_entity_,
+                                  [this] { on_fire(); });
   }
   void on_fire() {
     id_ = EventId{};
-    if (target_ > sched_.now()) {
+    if (target_ > sched_->now()) {
       // Deferred: the deadline moved later after this shot was scheduled.
       schedule_physical(target_);
       return;
@@ -279,12 +410,13 @@ class DeadlineTimer {
     cb_();
   }
 
-  Scheduler& sched_;
+  Scheduler* sched_;
   Scheduler::Callback cb_;
   EventId id_{};
   TimePoint scheduled_at_;  // time of the physical event behind id_
   TimePoint target_;        // armed deadline (>= scheduled_at_ when live)
   bool armed_ = false;
+  std::uint32_t stamp_entity_ = 0;
 };
 
 }  // namespace tcppr::sim

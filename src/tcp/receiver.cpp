@@ -24,7 +24,7 @@ Receiver::~Receiver() { network_.node(local_).detach_agent(flow_); }
 void Receiver::set_metric_registry(obs::MetricRegistry& registry) {
   probe_ = obs::FlowProbe(registry, flow_);
   if (probe_) {
-    const sim::TimePoint t = network_.scheduler().now();
+    const sim::TimePoint t = sched().now();
     probe_.rcv_next(t, static_cast<double>(rcv_next_));
     probe_.ooo_buffered(t, static_cast<double>(above_.size()));
   }
@@ -89,10 +89,10 @@ void Receiver::on_data(const net::Packet& pkt) {
         std::max(stats_.max_reorder_extent, seq - rcv_next_);
     above_.insert(seq);
     record_sack_block(seq, seq + 1);
-    if (probe_) probe_.out_of_order(network_.scheduler().now());
+    if (probe_) probe_.out_of_order(sched().now());
   }
   if (probe_) {
-    const sim::TimePoint t = network_.scheduler().now();
+    const sim::TimePoint t = sched().now();
     probe_.rcv_next(t, static_cast<double>(rcv_next_));
     probe_.ooo_buffered(t, static_cast<double>(above_.size()));
   }
@@ -161,7 +161,7 @@ void Receiver::send_ack(const net::Packet& cause, bool is_duplicate_arrival) {
 
 void Receiver::emit_ack(net::Packet&& ack) {
   ++stats_.acks_sent;
-  ack.sent_at = network_.scheduler().now();
+  ack.sent_at = sched().now();
   if (ack_tap_) ack_tap_(ack);
   network_.node(local_).originate(std::move(ack));
 }

@@ -43,7 +43,17 @@ class Receiver final : public net::Agent {
 
   const ReceiverStats& stats() const { return stats_; }
   FlowId flow() const { return flow_; }
+  net::NodeId local_node() const { return local_; }
   SeqNo rcv_next() const { return rcv_next_; }
+
+  // Re-points the receiver (and its delayed-ACK timer) at the scheduler
+  // shard owning its node. Parallel-mode adoption only; call before the
+  // simulation runs.
+  void rebind_scheduler(sim::Scheduler& shard) {
+    sched_override_ = &shard;
+    delack_timer_.rebind(shard);
+    delack_timer_.set_stamp_entity(static_cast<std::uint32_t>(local_));
+  }
   // Count of segments buffered above the in-order point.
   std::size_t ooo_buffered() const { return above_.size(); }
   // Current SACK blocks, recency-ordered (validation layer inspects their
@@ -79,8 +89,13 @@ class Receiver final : public net::Agent {
   void send_ack(const net::Packet& cause, bool force_dup_info);
   void emit_ack(net::Packet&& ack);
   void record_sack_block(SeqNo begin, SeqNo end);
+  sim::Scheduler& sched() const {
+    return sched_override_ != nullptr ? *sched_override_
+                                      : network_.scheduler();
+  }
 
   net::Network& network_;
+  sim::Scheduler* sched_override_ = nullptr;  // parallel mode: LP shard
   net::NodeId local_;
   net::NodeId remote_;
   FlowId flow_;

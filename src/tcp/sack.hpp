@@ -37,6 +37,12 @@ class SackSender : public SenderBase {
   double pipe() const;
   const RtoEstimator& rto_estimator() const { return rto_; }
 
+  void rebind_scheduler(sim::Scheduler& shard) override {
+    SenderBase::rebind_scheduler(shard);
+    rto_timer_.rebind(shard);
+    rto_timer_.set_stamp_entity(static_cast<std::uint32_t>(local_node()));
+  }
+
  protected:
   void on_start() override;
   void on_ack_packet(const net::Packet& ack) override;

@@ -113,6 +113,16 @@ class SenderBase : public net::Agent {
   const SenderStats& stats() const { return stats_; }
   const TcpConfig& config() const { return config_; }
   FlowId flow() const { return flow_; }
+  net::NodeId local_node() const { return local_; }
+  net::NodeId remote_node() const { return remote_; }
+
+  // Re-points the sender (and every timer a variant owns) at the
+  // scheduler shard owning its node. Parallel-mode adoption only; must
+  // run before start(). Variants with timers override and chain up.
+  virtual void rebind_scheduler(sim::Scheduler& shard) {
+    TCPPR_CHECK(!started_);
+    sched_override_ = &shard;
+  }
   virtual double cwnd() const = 0;
   // Name of the variant, for experiment tables.
   virtual const char* algorithm() const = 0;
@@ -136,8 +146,14 @@ class SenderBase : public net::Agent {
   void note_progress(SeqNo cum_ack);
   void notify_cwnd(double cwnd);
 
-  sim::Scheduler& sched() { return network_.scheduler(); }
-  sim::TimePoint now() const { return network_.scheduler().now(); }
+  sim::Scheduler& sched() {
+    return sched_override_ != nullptr ? *sched_override_
+                                      : network_.scheduler();
+  }
+  sim::TimePoint now() const {
+    return sched_override_ != nullptr ? sched_override_->now()
+                                      : network_.scheduler().now();
+  }
   net::Network& network() { return network_; }
 
   TcpConfig config_;
@@ -148,6 +164,7 @@ class SenderBase : public net::Agent {
 
  private:
   net::Network& network_;
+  sim::Scheduler* sched_override_ = nullptr;  // parallel mode: LP shard
   net::NodeId local_;
   net::NodeId remote_;
   FlowId flow_;

@@ -32,6 +32,12 @@ class TdFrSender final : public NewRenoSender {
   // Literal Paxson rule (DT = t3 - t1 only); for ablation.
   void set_adaptive_wait(bool adaptive) { adaptive_wait_ = adaptive; }
 
+  void rebind_scheduler(sim::Scheduler& shard) override {
+    NewRenoSender::rebind_scheduler(shard);
+    fr_timer_.rebind(shard);
+    fr_timer_.set_stamp_entity(static_cast<std::uint32_t>(local_node()));
+  }
+
  protected:
   void handle_dupack(const net::Packet& ack) override;
   void on_new_ack_hook() override;

@@ -56,6 +56,13 @@ class Tracer {
   void emit(sim::TimePoint time, EventType type, const net::Packet& pkt,
             net::NodeId from, net::NodeId to);
 
+  // Hands an already-built record to every sink. The parallel engine's
+  // barrier merge replays per-shard buffered records through this, in the
+  // order the sequential run would have emitted them.
+  void dispatch(const Record& record) {
+    for (TraceSink* sink : sinks_) sink->record(record);
+  }
+
  private:
   std::vector<TraceSink*> sinks_;
 };

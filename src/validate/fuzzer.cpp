@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "harness/parallel.hpp"
+#include "harness/parallel_run.hpp"
 #include "net/link_flapper.hpp"
 #include "sim/random.hpp"
 #include "util/check.hpp"
@@ -64,7 +65,7 @@ FuzzCase sample_fuzz_case(std::uint64_t seed) {
 }
 
 std::string describe(const FuzzCase& c) {
-  char buf[288];
+  char buf[320];
   std::string variants;
   for (const auto v : c.variants) {
     if (!variants.empty()) variants += ",";
@@ -79,11 +80,11 @@ std::string describe(const FuzzCase& c) {
       buf, sizeof(buf),
       "topology=%s flows=%d variants=[%s] dur=%.2fs cross=%d loss=%.4f "
       "jitter=%.1fms flap=%d(up=%.2fs,down=%.2fs) reconf=%d eps=%g nodes=%d "
-      "queue=%s",
+      "queue=%s par=%d",
       to_string(c.topology), c.flows, variants.c_str(), c.duration_s,
       c.cross_traffic ? 1 : 0, c.loss_rate, c.jitter_ms, c.flap ? 1 : 0,
       c.flap_mean_up_s, c.flap_mean_down_s, c.reconfigure_mid_run ? 1 : 0,
-      c.epsilon, c.graph_nodes, queue);
+      c.epsilon, c.graph_nodes, queue, c.par_lps);
   return buf;
 }
 
@@ -204,40 +205,67 @@ FuzzResult run_fuzz_case(const FuzzCase& c) {
       if (++applied >= 2) break;
     }
   }
+  // Mid-run reconfiguration and mutation knobs go through
+  // Scenario::schedule_action (identical to a plain schedule_at in
+  // sequential runs) so parallel adoption can move them onto the shard
+  // owning the touched object.
+  if (c.reconfigure_mid_run && !s.bottlenecks.empty()) {
+    net::Link* link = s.bottlenecks.front();
+    s.schedule_action(sim::TimePoint::from_seconds(c.duration_s / 2),
+                      link->from(), [link] {
+                        link->set_bandwidth(link->bandwidth_bps() / 2);
+                        link->set_prop_delay(link->prop_delay() * 2.0);
+                      });
+  }
+  if (c.corrupt_transit_for_test && !s.bottlenecks.empty()) {
+    s.bottlenecks.front()->corrupt_transit_accounting_for_test();
+  }
+  if (c.corrupt_delivery_for_test && !s.receivers.empty()) {
+    tcp::Receiver* rx = s.receivers.front().get();
+    s.schedule_action(sim::TimePoint::from_seconds(c.duration_s / 2),
+                      rx->local_node(),
+                      [rx] { rx->corrupt_delivered_hash_for_test(); });
+  }
+
+  DeliveryHasher hasher;
+  s.network.add_trace_sink(&hasher);
+  InvariantChecker checker(s);
+
+  // Parallel mode: shards, mailboxes and adoption happen here, after all
+  // build-time scheduling above (the ParallelSim CHECKs the build
+  // scheduler drained). The checker sweeps at barriers instead of on its
+  // own timer.
+  std::unique_ptr<harness::ParallelSim> psim;
+  if (c.par_lps >= 1) {
+    harness::ParallelRunConfig pc;
+    pc.lps = c.par_lps;
+    psim = std::make_unique<harness::ParallelSim>(s, pc);
+    psim->set_checker(&checker);
+  }
+
+  // The flapper is created directly on the shard owning the flapped link
+  // (its toggle events and the link's queue events must share an LP).
   std::unique_ptr<net::LinkFlapper> flapper;
   if (c.flap && !s.bottlenecks.empty()) {
     net::LinkFlapper::Config fc;
     fc.mean_up = sim::Duration::seconds(c.flap_mean_up_s);
     fc.mean_down = sim::Duration::seconds(c.flap_mean_down_s);
     fc.seed = c.seed ^ 0x5Au;
+    net::Link* link = s.bottlenecks.front();
+    sim::Scheduler& flap_sched =
+        psim != nullptr ? psim->shard_for(link->from()) : s.sched;
     flapper = std::make_unique<net::LinkFlapper>(
-        s.sched, std::vector<net::Link*>{s.bottlenecks.front()}, fc);
+        flap_sched, std::vector<net::Link*>{link}, fc);
     flapper->start();
   }
-  if (c.reconfigure_mid_run && !s.bottlenecks.empty()) {
-    net::Link* link = s.bottlenecks.front();
-    s.sched.schedule_at(sim::TimePoint::from_seconds(c.duration_s / 2),
-                        [link] {
-                          link->set_bandwidth(link->bandwidth_bps() / 2);
-                          link->set_prop_delay(link->prop_delay() * 2.0);
-                        });
-  }
 
-  // Mutation knobs (self-test only; never sampled).
-  if (c.corrupt_transit_for_test && !s.bottlenecks.empty()) {
-    s.bottlenecks.front()->corrupt_transit_accounting_for_test();
+  const auto end = sim::TimePoint::from_seconds(c.duration_s);
+  if (psim != nullptr) {
+    psim->run_until(end);
+  } else {
+    checker.start();
+    s.sched.run_until(end);
   }
-  if (c.corrupt_delivery_for_test && !s.receivers.empty()) {
-    tcp::Receiver* rx = s.receivers.front().get();
-    s.sched.schedule_at(sim::TimePoint::from_seconds(c.duration_s / 2),
-                        [rx] { rx->corrupt_delivered_hash_for_test(); });
-  }
-
-  DeliveryHasher hasher;
-  s.network.add_trace_sink(&hasher);
-  InvariantChecker checker(s);
-  checker.start();
-  s.sched.run_until(sim::TimePoint::from_seconds(c.duration_s));
   if (flapper) flapper->stop();
   checker.finalize();
 

@@ -45,6 +45,13 @@ struct FuzzCase {
   // must produce identical trajectories, so sampling it would add nothing);
   // set explicitly by the backend-equivalence tests and --queue.
   sim::SchedulerBackend backend = sim::SchedulerBackend::kBinaryHeap;
+  // Logical processes for the parallel engine. 0 = legacy sequential run
+  // on the build scheduler; 1 = canonical stamped run on a single shard;
+  // >= 2 = threaded. Never sampled (like `backend`: any LP count >= 1
+  // must produce the identical trajectory); set explicitly by the
+  // parallel-equivalence tests and --par. The realized LP count may be
+  // lower when the partitioner finds no positive-lookahead cut.
+  int par_lps = 0;
 
   // Mutation knobs for the checker's self-test. Never sampled by the
   // fuzzer; set explicitly by tests/validate_selftest.cpp.

@@ -102,7 +102,8 @@ std::string InvariantChecker::report() const {
 }
 
 void InvariantChecker::check_conservation() {
-  const auto snap = scenario_.network.conservation();
+  auto snap = scenario_.network.conservation();
+  if (external_in_flight_) snap.in_transit += external_in_flight_();
   if (!snap.balanced()) {
     add_violation(format(
         "conservation: originated=%llu != accounted=%llu (delivered=%llu "

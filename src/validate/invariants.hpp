@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -71,8 +72,19 @@ class InvariantChecker {
   // simulation has finished; ok()/report() are complete afterwards.
   void finalize();
   // One immediate sweep without touching the periodic schedule. Safe to
-  // call between events at any time.
+  // call between events at any time. This is the parallel-mode entry
+  // point: do not start() there (the periodic timer lives on the idle
+  // build-time scheduler); ParallelSim calls check_now() at every
+  // barrier, where all shards are parked and state is coherent.
   void check_now();
+
+  // Parallel mode: packets riding a cut-link mailbox, or injected into
+  // the destination shard but not yet executed, are invisible to the
+  // network's conservation snapshot. The provider reports that count so
+  // conservation balances at barriers (ParallelSim::external_in_flight).
+  void set_external_in_flight(std::function<std::uint64_t()> provider) {
+    external_in_flight_ = std::move(provider);
+  }
 
   bool ok() const { return total_violations_ == 0; }
   std::uint64_t total_violations() const { return total_violations_; }
@@ -114,6 +126,7 @@ class InvariantChecker {
   std::uint64_t total_violations_ = 0;
   std::uint64_t sweeps_ = 0;
   bool finalized_ = false;
+  std::function<std::uint64_t()> external_in_flight_;
   sim::Timer timer_;
 };
 

@@ -1,0 +1,349 @@
+// Parallel execution mode: the only property that matters is that the
+// parallel run is *byte-identical* to the one-shard run. Every test here
+// builds the same scenario several times — through harness::ParallelSim at
+// different LP counts, plus (where event ties permit) the legacy
+// sequential scheduler — and compares the DeliveryHasher digest (an
+// order-sensitive FNV fold over every delivery event), so a single
+// reordered, missing or duplicated delivery fails the run.
+//
+// Baselines: the canonical trajectory is the stamped single-shard run
+// (lps = 1) — stamp order is partition-independent, so every LP count must
+// reproduce it exactly. The legacy unstamped scheduler coincides with it
+// except when two nodes schedule same-target-time events within the same
+// nanosecond; topologies with distinct per-hop delays (dumbbell) are free
+// of such coincidences and also assert canonical == legacy, while
+// equal-delay topologies (multipath) compare against the canonical run
+// only.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "harness/parallel_run.hpp"
+#include "harness/partition.hpp"
+#include "harness/scenarios.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "validate/determinism.hpp"
+#include "validate/fuzzer.hpp"
+#include "validate/invariants.hpp"
+
+namespace tcppr {
+namespace {
+
+using harness::ParallelRunConfig;
+using harness::ParallelSim;
+using harness::Scenario;
+using harness::TcpVariant;
+using validate::DeliveryHasher;
+
+struct RunDigest {
+  std::uint64_t hash = 0;
+  std::uint64_t delivered = 0;
+  int realized_lps = 1;
+};
+
+// Runs `scenario` to `end` and digests its delivery stream; lps == 0 runs
+// the legacy sequential scheduler, lps >= 1 runs through ParallelSim
+// (stamped shards; one shard still sequential).
+RunDigest run_and_digest(std::unique_ptr<Scenario> scenario,
+                         sim::TimePoint end, int lps) {
+  RunDigest out;
+  DeliveryHasher hasher;
+  scenario->network.add_trace_sink(&hasher);
+  if (lps == 0) {
+    scenario->sched.run_until(end);
+  } else {
+    ParallelRunConfig pc;
+    pc.lps = lps;
+    ParallelSim psim(*scenario, pc);
+    out.realized_lps = psim.lp_count();
+    psim.run_until(end);
+  }
+  out.hash = hasher.hash();
+  out.delivered = hasher.delivered();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler::next_deadline across backends
+
+TEST(NextDeadline, AgreesAcrossBackendsOnRandomizedSchedule) {
+  const sim::SchedulerBackend backends[] = {
+      sim::SchedulerBackend::kBinaryHeap,
+      sim::SchedulerBackend::kCalendarQueue,
+      sim::SchedulerBackend::kTimingWheel,
+  };
+  std::vector<std::unique_ptr<sim::Scheduler>> scheds;
+  for (const auto b : backends) {
+    scheds.push_back(std::make_unique<sim::Scheduler>(b));
+  }
+
+  // Same randomized schedule into all three; some events cancelled, some
+  // events schedule more events (exercising the lazy stale-skip inside
+  // next_deadline and deadlines discovered mid-run).
+  sim::Rng rng(7);
+  std::vector<std::int64_t> times;
+  std::vector<std::size_t> cancel_picks;
+  for (int i = 0; i < 300; ++i) {
+    times.push_back(static_cast<std::int64_t>(rng.uniform(0.0, 5e8)));
+    if (i % 7 == 0) cancel_picks.push_back(static_cast<std::size_t>(i));
+  }
+  int fired[3] = {0, 0, 0};
+  for (std::size_t s = 0; s < scheds.size(); ++s) {
+    std::vector<sim::EventId> ids;
+    for (const auto t : times) {
+      ids.push_back(scheds[s]->schedule_at(
+          sim::TimePoint::from_nanos(t), [&fired, s] { ++fired[s]; }));
+    }
+    for (const auto pick : cancel_picks) scheds[s]->cancel(ids[pick]);
+  }
+
+  // Drain in lockstep: deadlines must agree before every step.
+  for (;;) {
+    const std::optional<sim::TimePoint> d0 = scheds[0]->next_deadline();
+    for (std::size_t s = 1; s < scheds.size(); ++s) {
+      const auto ds = scheds[s]->next_deadline();
+      ASSERT_EQ(d0.has_value(), ds.has_value());
+      if (d0) {
+        ASSERT_EQ(d0->as_nanos(), ds->as_nanos());
+      }
+    }
+    if (!d0) break;
+    for (auto& sched : scheds) sched->run_until(*d0);
+  }
+  EXPECT_EQ(fired[0], fired[1]);
+  EXPECT_EQ(fired[0], fired[2]);
+  EXPECT_EQ(fired[0], 300 - static_cast<int>(cancel_picks.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner
+
+TEST(Partition, DumbbellSplitsAcrossPositiveLookaheadCuts) {
+  harness::DumbbellConfig cfg;
+  auto s = harness::make_dumbbell(cfg);
+  harness::PartitionConfig pc;
+  pc.target_lps = 2;
+  const harness::Partition part(s->network, pc);
+  ASSERT_EQ(part.lp_count(), 2);
+  EXPECT_FALSE(part.cut_links().empty());
+  for (const net::Link* cut : part.cut_links()) {
+    EXPECT_GT(cut->prop_delay().as_nanos(), 0);
+    EXPECT_NE(part.lp_of(cut->from()), part.lp_of(cut->to()));
+  }
+}
+
+TEST(Partition, ZeroDelayLinksAreNeverCut) {
+  Scenario s;
+  net::Network& nw = s.network;
+  const auto a = nw.add_node();
+  const auto b = nw.add_node();
+  const auto c = nw.add_node();
+  net::LinkConfig zero;
+  zero.bandwidth_bps = 10e6;
+  zero.delay = sim::Duration::zero();
+  nw.add_duplex_link(a, b, zero);
+  net::LinkConfig pos = zero;
+  pos.delay = sim::Duration::millis(5);
+  nw.add_duplex_link(b, c, pos);
+  nw.compute_static_routes();
+
+  harness::PartitionConfig pc;
+  pc.target_lps = 3;
+  const harness::Partition part(nw, pc);
+  EXPECT_EQ(part.lp_of(a), part.lp_of(b));  // contracted
+  EXPECT_EQ(part.lp_count(), 2);
+}
+
+TEST(Partition, SingleLpFallbackWhenNoCutExists) {
+  Scenario s;
+  net::Network& nw = s.network;
+  const auto a = nw.add_node();
+  const auto b = nw.add_node();
+  net::LinkConfig zero;
+  zero.bandwidth_bps = 10e6;
+  zero.delay = sim::Duration::zero();
+  nw.add_duplex_link(a, b, zero);
+  nw.compute_static_routes();
+
+  harness::PartitionConfig pc;
+  pc.target_lps = 4;
+  const harness::Partition part(nw, pc);
+  EXPECT_EQ(part.lp_count(), 1);
+  EXPECT_TRUE(part.cut_links().empty());
+
+  // And ParallelSim degrades to the sequential scheduler.
+  ParallelRunConfig rc;
+  rc.lps = 4;
+  ParallelSim psim(s, rc);
+  EXPECT_FALSE(psim.parallel());
+  psim.run_until(sim::TimePoint::from_seconds(0.1));
+}
+
+// ---------------------------------------------------------------------------
+// Variant x topology equivalence matrix
+
+enum class Topo { kDumbbell, kParkingLot, kMultipath };
+
+std::unique_ptr<Scenario> build_topo(Topo topo, TcpVariant variant) {
+  switch (topo) {
+    case Topo::kDumbbell: {
+      harness::DumbbellConfig cfg;
+      cfg.pr_flows = 0;
+      cfg.sack_flows = 0;
+      auto s = harness::make_dumbbell(cfg);
+      // Two flows of the variant under test plus one SACK competitor.
+      s->add_flow(variant, s->src_host, s->dst_host, 1, cfg.tcp, cfg.pr,
+                  sim::TimePoint::origin());
+      s->add_flow(variant, s->src_host, s->dst_host, 2, cfg.tcp, cfg.pr,
+                  sim::TimePoint::from_seconds(0.2));
+      s->add_flow(TcpVariant::kSack, s->src_host, s->dst_host, 3, cfg.tcp,
+                  cfg.pr, sim::TimePoint::from_seconds(0.4));
+      return s;
+    }
+    case Topo::kParkingLot: {
+      harness::ParkingLotConfig cfg;
+      cfg.pr_flows = 0;
+      cfg.sack_flows = 0;
+      cfg.with_cross_traffic = true;
+      auto s = harness::make_parking_lot(cfg);
+      s->add_flow(variant, s->src_host, s->dst_host, 50, cfg.tcp, cfg.pr,
+                  sim::TimePoint::origin());
+      return s;
+    }
+    case Topo::kMultipath: {
+      harness::MultipathConfig cfg;
+      cfg.variant = variant;
+      cfg.epsilon = 1;
+      return harness::make_multipath(cfg);
+    }
+  }
+  return nullptr;
+}
+
+class ParallelMatrix
+    : public ::testing::TestWithParam<std::tuple<TcpVariant, Topo>> {};
+
+TEST_P(ParallelMatrix, ParallelDigestMatchesCanonicalOneShardRun) {
+  const auto [variant, topo] = GetParam();
+  const auto end = sim::TimePoint::from_seconds(3.0);
+  const RunDigest seq = run_and_digest(build_topo(topo, variant), end, 1);
+  ASSERT_GT(seq.delivered, 0u);
+  if (topo != Topo::kMultipath) {
+    // Distinct per-hop delays: no same-nanosecond cross-node ties, so the
+    // canonical run must also equal the legacy sequential scheduler.
+    const RunDigest legacy = run_and_digest(build_topo(topo, variant), end, 0);
+    EXPECT_EQ(seq.hash, legacy.hash) << "canonical vs legacy";
+    EXPECT_EQ(seq.delivered, legacy.delivered);
+  }
+  for (const int lps : {2, 4}) {
+    const RunDigest par = run_and_digest(build_topo(topo, variant), end, lps);
+    EXPECT_GT(par.realized_lps, 1) << "partition degenerated";
+    EXPECT_EQ(par.delivered, seq.delivered) << "lps=" << lps;
+    EXPECT_EQ(par.hash, seq.hash) << "lps=" << lps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, ParallelMatrix,
+    ::testing::Combine(::testing::ValuesIn(harness::all_variants()),
+                       ::testing::Values(Topo::kDumbbell, Topo::kParkingLot,
+                                         Topo::kMultipath)));
+
+// ---------------------------------------------------------------------------
+// Many-flow scale path
+
+TEST(ParallelManyFlows, DumbbellDigestMatchesSequentialAtEveryLpCount) {
+  const auto make = [] {
+    harness::ManyFlowsConfig cfg;
+    cfg.flows = 64;
+    cfg.seed = 3;
+    return harness::make_many_flows(cfg);
+  };
+  const auto end = sim::TimePoint::from_seconds(2.0);
+  const RunDigest seq = run_and_digest(make(), end, 0);  // legacy sequential
+  ASSERT_GT(seq.delivered, 0u);
+  for (const int lps : {1, 2, 4, 8}) {
+    const RunDigest par = run_and_digest(make(), end, lps);
+    EXPECT_EQ(par.hash, seq.hash) << "lps=" << lps;
+    EXPECT_EQ(par.delivered, seq.delivered) << "lps=" << lps;
+  }
+}
+
+TEST(ParallelManyFlows, RandomGraphDigestMatchesCanonicalOneShardRun) {
+  const auto make = [] {
+    harness::ManyFlowsConfig cfg;
+    cfg.topology = harness::ManyFlowsConfig::Topology::kRandomGraph;
+    cfg.flows = 32;
+    cfg.seed = 11;
+    return harness::make_many_flows(cfg);
+  };
+  const auto end = sim::TimePoint::from_seconds(2.0);
+  const RunDigest seq = run_and_digest(make(), end, 1);
+  ASSERT_GT(seq.delivered, 0u);
+  for (const int lps : {2, 4}) {
+    const RunDigest par = run_and_digest(make(), end, lps);
+    EXPECT_GT(par.realized_lps, 1);
+    EXPECT_EQ(par.hash, seq.hash) << "lps=" << lps;
+    EXPECT_EQ(par.delivered, seq.delivered) << "lps=" << lps;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invariants under parallel execution (conservation swept at barriers)
+
+TEST(ParallelInvariants, CheckerIsCleanAtBarriersAndTeardown) {
+  harness::DumbbellConfig cfg;
+  cfg.pr_flows = 2;
+  cfg.sack_flows = 2;
+  auto s = harness::make_dumbbell(cfg);
+  validate::InvariantChecker checker(*s);
+  ParallelRunConfig pc;
+  pc.lps = 4;
+  ParallelSim psim(*s, pc);
+  ASSERT_TRUE(psim.parallel());
+  psim.set_checker(&checker);
+  psim.run_until(sim::TimePoint::from_seconds(3.0));
+  checker.finalize();
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GT(checker.sweeps(), 1u);
+  EXPECT_GT(psim.windows(), 0u);
+  EXPECT_GT(psim.exchanged(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz equivalence: sampled adversarial cases (loss, jitter, flapping,
+// mid-run reconfiguration, all four topologies) must digest identically
+// at 2 and 4 LPs. The full 100-seed campaign lives in the fuzz test
+// below; a reduced sweep keeps the default ctest run fast.
+
+void expect_seed_equivalent(std::uint64_t seed, int lps) {
+  validate::FuzzCase c = validate::sample_fuzz_case(seed);
+  c.par_lps = 1;  // canonical one-shard baseline (ties keyed by node)
+  const validate::FuzzResult seq = validate::run_fuzz_case(c);
+  EXPECT_TRUE(seq.ok) << "seed " << seed << ": " << seq.first_violation;
+  c.par_lps = lps;
+  const validate::FuzzResult par = validate::run_fuzz_case(c);
+  EXPECT_TRUE(par.ok) << "seed " << seed << " lps " << lps << ": "
+                      << par.first_violation;
+  EXPECT_EQ(par.delivery_hash, seq.delivery_hash)
+      << "seed " << seed << " lps " << lps << " ("
+      << validate::describe(c) << ")";
+  EXPECT_EQ(par.delivered, seq.delivered) << "seed " << seed;
+}
+
+TEST(ParallelFuzz, HundredSeedsMatchSequentialAtTwoAndFourLps) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    expect_seed_equivalent(seed, seed % 2 == 0 ? 2 : 4);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "stopping at first divergent seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcppr

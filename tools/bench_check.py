@@ -9,6 +9,11 @@ Gated benchmarks — the engine cost centers this repo optimizes:
     BM_SchedulerScheduleRun/*   event queue push/pop throughput
     BM_SchedulerCancel          lazy-cancellation path
     BM_DumbbellSimulation/*     end-to-end simulation throughput
+    BM_ScaleFlowsParallel/*     parallel (multi-LP) harness throughput
+
+Multi-threaded rows (lps > 1) are skipped when the runner has fewer cores
+than the row needs worker threads — on such a machine the threads
+serialize and the measurement says nothing about a code regression.
 
 CI runners are not the box the baseline was recorded on, so raw
 nanoseconds are not comparable across machines. The gate calibrates with
@@ -30,6 +35,7 @@ Usage:
 
 import argparse
 import json
+import os
 import pathlib
 import re
 import statistics
@@ -41,7 +47,11 @@ GATED_PATTERNS = [
     r"^BM_SchedulerScheduleRun(/|$)",
     r"^BM_SchedulerCancel$",
     r"^BM_DumbbellSimulation(/|$)",
+    r"^BM_ScaleFlowsParallel(/|$)",
 ]
+
+# Parallel-harness rows encode their LP (worker thread) count in the name.
+LPS_RE = re.compile(r"/lps:(\d+)")
 
 # Pure-compute benchmarks used to estimate the machine-speed factor.
 CALIBRATION_NAMES = ["BM_NewtonAlphaRoot", "BM_ExactPow", "BM_RngUniform"]
@@ -49,16 +59,33 @@ CALIBRATION_NAMES = ["BM_NewtonAlphaRoot", "BM_ExactPow", "BM_RngUniform"]
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
+def benchmark_threads(name, row):
+    m = LPS_RE.search(name)
+    if m:
+        return int(m.group(1))
+    return int(row.get("threads", 1))
+
+
+def runner_cpus():
+    """Cores available to this process (affinity/cgroup-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
 def load_times(path):
-    """Returns {benchmark_name: real_time_ns} from either JSON format."""
+    """Returns ({name: real_time_ns}, {name: threads}) from either format."""
     with open(path) as f:
         raw = json.load(f)
     times = {}
+    threads = {}
     if isinstance(raw.get("benchmarks"), dict):  # BENCH_engine.json report
         for name, row in raw["benchmarks"].items():
             if row.get("after_ns") is not None:
                 times[name] = float(row["after_ns"])
-        return times
+                threads[name] = benchmark_threads(name, row)
+        return times, threads
     for b in raw.get("benchmarks", []):  # raw google-benchmark JSON
         if b.get("error_occurred"):
             continue
@@ -66,7 +93,8 @@ def load_times(path):
             continue
         name = b.get("run_name", b["name"])
         times[name] = b["real_time"] * TIME_UNIT_NS[b["time_unit"]]
-    return times
+        threads[name] = benchmark_threads(name, b)
+    return times, threads
 
 
 def machine_factor(current, baseline):
@@ -99,8 +127,8 @@ def main():
         if not pathlib.Path(path).exists():
             sys.exit(f"error: {path} not found")
 
-    current = load_times(args.current)
-    baseline = load_times(args.baseline)
+    current, _ = load_times(args.current)
+    baseline, base_threads = load_times(args.baseline)
     if not current:
         sys.exit(f"error: no benchmark results in {args.current}")
 
@@ -108,11 +136,22 @@ def main():
     print(f"machine-speed factor: {factor:.3f} "
           f"(from {calib_n} calibration benchmark(s))")
 
+    cpus = runner_cpus()
     gated = re.compile("|".join(GATED_PATTERNS))
     checked = 0
+    skipped = 0
     failures = []
     for name in sorted(baseline):
         if not gated.search(name):
+            continue
+        # Multi-threaded rows are only meaningful with as many cores as
+        # worker threads: on a smaller runner the threads serialize onto
+        # shared cores and the "regression" would just be the core deficit.
+        threads = base_threads.get(name, 1)
+        if threads > 1 and cpus < threads:
+            print(f"  SKIPPED  {name} (needs {threads} cores, "
+                  f"runner has {cpus})")
+            skipped += 1
             continue
         if name not in current:
             print(f"  MISSING  {name} (in baseline, absent from current run)")
@@ -135,7 +174,8 @@ def main():
     if failures:
         sys.exit(f"FAIL: {len(failures)} gated benchmark(s) regressed more "
                  f"than {args.threshold:.0%}: {', '.join(failures)}")
-    print(f"PASS: {checked} gated benchmark(s) within {args.threshold:.0%}")
+    print(f"PASS: {checked} gated benchmark(s) within {args.threshold:.0%}"
+          + (f" ({skipped} multi-threaded row(s) skipped)" if skipped else ""))
 
 
 if __name__ == "__main__":

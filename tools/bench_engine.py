@@ -28,7 +28,9 @@ Usage:
 
 import argparse
 import json
+import os
 import pathlib
+import re
 import subprocess
 import sys
 
@@ -47,18 +49,43 @@ EMBEDDED_BASELINE_NS = {
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+# Parallel-harness benchmarks encode their LP count in the name
+# (BM_ScaleFlowsParallel/flows:256/lps:4); that, not google-benchmark's own
+# threads field, is the number of worker threads the row needs.
+LPS_RE = re.compile(r"/lps:(\d+)")
+
 
 def to_ns(value, unit):
     return value * TIME_UNIT_NS[unit]
 
 
+def benchmark_threads(name, row):
+    m = LPS_RE.search(name)
+    if m:
+        return int(m.group(1))
+    return int(row.get("threads", 1))
+
+
+def runner_cpus():
+    """Cores actually available to this process (affinity-aware, so a
+    cgroup-limited CI container reports its real allowance, not the host's
+    core count — the bug this replaces was trusting the benchmark library's
+    num_cpus)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
 def load_benchmark_json(raw):
     """Extracts {name: real_time_ns} plus the context block.
 
-    Returns (context, times, errors) where errors lists benchmarks that
-    reported error_occurred instead of a measurement.
+    Returns (context, times, threads, errors) where threads maps each
+    benchmark to the worker-thread count it needs and errors lists
+    benchmarks that reported error_occurred instead of a measurement.
     """
     times = {}
+    threads = {}
     errors = []
     for b in raw.get("benchmarks", []):
         name = b.get("run_name", b["name"])
@@ -68,7 +95,8 @@ def load_benchmark_json(raw):
         if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
             continue
         times[name] = to_ns(b["real_time"], b["time_unit"])
-    return raw.get("context", {}), times, errors
+        threads[name] = benchmark_threads(name, b)
+    return raw.get("context", {}), times, threads, errors
 
 
 def run_binary(binary, args):
@@ -96,14 +124,14 @@ def run_binary(binary, args):
         raw = json.loads(run.stdout)
     except json.JSONDecodeError as e:
         sys.exit(f"error: {binary.name} produced unparseable JSON: {e}")
-    context, times, errors = load_benchmark_json(raw)
+    context, times, threads, errors = load_benchmark_json(raw)
     if errors:
         for line in errors:
             print(f"error: {binary.name}: {line}", file=sys.stderr)
         sys.exit(f"error: {len(errors)} benchmark(s) failed in {binary.name}")
     if not times:
         sys.exit(f"error: {binary.name} reported no benchmark results")
-    return context, times
+    return context, times, threads
 
 
 def main():
@@ -133,14 +161,16 @@ def main():
 
     context = {}
     after = {}
+    thread_counts = {}
     for binary in binaries:
-        ctx, times = run_binary(binary, args)
+        ctx, times, threads = run_binary(binary, args)
         context = context or ctx
         after.update(times)
+        thread_counts.update(threads)
 
     if args.baseline:
         with open(args.baseline) as f:
-            _, baseline, _ = load_benchmark_json(json.load(f))
+            _, baseline, _, _ = load_benchmark_json(json.load(f))
         baseline_source = args.baseline
     else:
         baseline = dict(EMBEDDED_BASELINE_NS)
@@ -153,15 +183,22 @@ def main():
             "baseline_ns": round(base_ns, 2) if base_ns is not None else None,
             "after_ns": round(after_ns, 2),
             "speedup": round(base_ns / after_ns, 2) if base_ns else None,
+            "threads": thread_counts.get(name, 1),
         }
 
     report = {
         "generated_by": "tools/bench_engine.py",
         "baseline_source": baseline_source,
         "context": {k: context.get(k) for k in
-                    ("date", "num_cpus", "mhz_per_cpu", "library_build_type")},
+                    ("date", "mhz_per_cpu", "library_build_type")},
         "benchmarks": benchmarks,
     }
+    # Cores the recording process could actually use — not the benchmark
+    # library's context value, which reports hardware concurrency even when
+    # the container is pinned to fewer cores. Consumers (bench_check.py)
+    # need this to decide whether multi-threaded rows were recorded at
+    # full parallelism.
+    report["context"]["num_cpus"] = runner_cpus()
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}", file=sys.stderr)

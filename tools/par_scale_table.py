@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Print the sequential-vs-parallel scaling table from a scale_flows run.
+
+Reads google-benchmark JSON (or a BENCH_engine.json report) containing
+BM_ScaleFlowsParallel rows and prints one line per flow count with the
+wall time at each LP count and the speedup over the one-LP (canonical
+stamped sequential) row. CI runs this after the bench job and uploads the
+table next to the raw JSON.
+
+Usage:
+    ./build/bench/scale_flows --benchmark_filter=BM_ScaleFlowsParallel \
+        --benchmark_format=json > par.json
+    python3 tools/par_scale_table.py par.json
+"""
+
+import json
+import re
+import sys
+
+ROW_RE = re.compile(r"^BM_ScaleFlowsParallel/flows:(\d+)/lps:(\d+)$")
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    with open(path) as f:
+        raw = json.load(f)
+    rows = {}  # {flows: {lps: ns}}
+    if isinstance(raw.get("benchmarks"), dict):  # BENCH_engine.json report
+        items = ((n, r.get("after_ns")) for n, r in raw["benchmarks"].items())
+    else:  # raw google-benchmark JSON
+        items = ((b.get("run_name", b["name"]),
+                  b["real_time"] * TIME_UNIT_NS[b["time_unit"]])
+                 for b in raw.get("benchmarks", [])
+                 if not b.get("error_occurred"))
+    for name, ns in items:
+        m = ROW_RE.match(name)
+        if not m or ns is None:
+            continue
+        rows.setdefault(int(m.group(1)), {})[int(m.group(2))] = float(ns)
+    return rows
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    rows = load(sys.argv[1])
+    if not rows:
+        sys.exit("error: no BM_ScaleFlowsParallel rows found")
+    lp_counts = sorted({lps for by_lps in rows.values() for lps in by_lps})
+    header = "flows " + "".join(f"{f'lps={k}':>17}" for k in lp_counts)
+    print(header)
+    print("-" * len(header))
+    for flows in sorted(rows):
+        by_lps = rows[flows]
+        base = by_lps.get(1)
+        cells = []
+        for k in lp_counts:
+            ns = by_lps.get(k)
+            if ns is None:
+                cells.append(f"{'-':>17}")
+            elif base and k > 1:
+                cells.append(f"{ns / 1e6:9.1f}ms {base / ns:4.2f}x")
+            else:
+                cells.append(f"{ns / 1e6:15.1f}ms")
+        print(f"{flows:<6}" + "".join(cells))
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "harness/experiment.hpp"
+#include "harness/parallel_run.hpp"
 #include "obs/registry.hpp"
 #include "obs/series.hpp"
 #include "trace/trace.hpp"
@@ -50,6 +51,7 @@ struct Args {
   std::string ts_out;
   double ts_interval_s = 0.1;
   bool validate = false;
+  int par = 0;  // 0 = sequential, >= 1 = parallel harness with N LPs
   int fuzz_count = 0;
   std::optional<std::uint64_t> fuzz_seed;
   int jobs = 1;
@@ -96,6 +98,9 @@ void usage() {
       "  --ts-interval <s>     queue sampling interval (default 0.1)\n"
       "  --validate            run under the invariant checker; nonzero\n"
       "                        exit and a report on any violation\n"
+      "  --par <n>             run on n parallel scheduler shards (LPs);\n"
+      "                        byte-identical to the sequential run. Also\n"
+      "                        applies to --fuzz-seed replays\n"
       "  --fuzz <n>            fuzz campaign over seeds [--seed, --seed+n)\n"
       "  --fuzz-seed <n>       replay one fuzz case under the checker\n"
       "  --fuzz-artifacts <dir>  write per-seed reproducer files for\n"
@@ -150,6 +155,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.ts_interval_s = std::atof(next());
     } else if (flag == "--validate") {
       args.validate = true;
+    } else if (flag == "--par") {
+      args.par = std::atoi(next());
     } else if (flag == "--fuzz") {
       args.fuzz_count = std::atoi(next());
     } else if (flag == "--fuzz-seed") {
@@ -254,6 +261,7 @@ int main(int argc, char** argv) {
   if (args.fuzz_seed) {
     auto c = validate::sample_fuzz_case(*args.fuzz_seed);
     c.backend = *backend;
+    c.par_lps = args.par;
     std::printf("fuzz seed %llu: %s\n",
                 static_cast<unsigned long long>(*args.fuzz_seed),
                 validate::describe(c).c_str());
@@ -315,18 +323,41 @@ int main(int argc, char** argv) {
   std::unique_ptr<validate::InvariantChecker> checker;
   if (args.validate) {
     checker = std::make_unique<validate::InvariantChecker>(*scenario);
+  }
+  // Parallel harness: built after every component (flows, sinks, checker)
+  // but before anything runs — its constructor adopts the scenario's
+  // build-time events. Observability probes schedule on the build
+  // scheduler and are not supported in parallel mode.
+  std::unique_ptr<harness::ParallelSim> psim;
+  if (args.par >= 1) {
+    if (series_sink) {
+      std::fprintf(stderr, "--par does not support --ts-out probes\n");
+      return 1;
+    }
+    harness::ParallelRunConfig pc;
+    pc.lps = args.par;
+    psim = std::make_unique<harness::ParallelSim>(*scenario, pc);
+    if (checker) psim->set_checker(checker.get());
+  } else if (checker) {
     checker->start();
   }
 
   harness::MeasurementWindow window;
   window.total = sim::Duration::seconds(args.duration_s);
   window.measured = sim::Duration::seconds(args.measured_s);
-  const auto result = run_scenario(*scenario, window);
+  const auto result = run_scenario(*scenario, window, psim.get());
   if (checker) checker->finalize();
 
   std::printf("topology=%s queue=%s duration=%.0fs measured=%.0fs seed=%llu\n",
               args.topology.c_str(), args.queue.c_str(), args.duration_s,
               args.measured_s, static_cast<unsigned long long>(args.seed));
+  if (psim) {
+    std::printf("parallel: %d LPs (%d requested), %llu windows, "
+                "%llu cross-LP packets\n",
+                psim->lp_count(), args.par,
+                static_cast<unsigned long long>(psim->windows()),
+                static_cast<unsigned long long>(psim->exchanged()));
+  }
   const auto norm = result.normalized();
   if (result.flows.size() <= 32) {
     std::printf("%-4s %-9s %12s %12s %8s %6s %6s %6s\n", "flow", "variant",
