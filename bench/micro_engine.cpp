@@ -123,6 +123,65 @@ void BM_PacketForwardLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketForwardLoop)->Unit(benchmark::kMillisecond);
 
+// The same three-hop forwarding burst with the batched hot path toggled:
+// Arg 0 = unbatched (per-packet scheduler events), 1 = batched (link-pump
+// carrier events, batched queue ops). The events_per_packet counter is the
+// headline metric — carrier events amortize across whole delivery runs, so
+// the batched row drops well below one scheduler event per delivered
+// packet while the unbatched row pays several.
+void BM_BatchDelivery(benchmark::State& state) {
+  struct Sink : net::Agent {
+    std::uint64_t received = 0;
+    void deliver(net::Packet&&) override { ++received; }
+  };
+  const bool batching = state.range(0) != 0;
+  constexpr int kPackets = 10000;
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    // The mode is sampled once at Network construction; restore the
+    // process default immediately so nothing else inherits it.
+    net::set_hot_path_batching(batching);
+    sim::Scheduler sched;
+    net::Network net(sched);
+    net::set_hot_path_batching(true);
+    const net::NodeId a = net.add_node();
+    const net::NodeId b = net.add_node();
+    const net::NodeId c = net.add_node();
+    const net::NodeId d = net.add_node();
+    net::LinkConfig cfg;
+    cfg.bandwidth_bps = 1e9;
+    cfg.delay = sim::Duration::micros(10);
+    cfg.queue_limit_packets = kPackets + 1;
+    net.add_link(a, b, cfg);
+    net.add_link(b, c, cfg);
+    net.add_link(c, d, cfg);
+    net.compute_static_routes();
+    Sink sink;
+    net.node(d).attach_agent(/*flow=*/1, &sink);
+    for (int i = 0; i < kPackets; ++i) {
+      net::Packet pkt;
+      pkt.uid = net.allocate_uid();
+      pkt.src = a;
+      pkt.dst = d;
+      pkt.size_bytes = 1000;
+      pkt.type = net::PacketType::kTcpData;
+      pkt.tcp.flow = 1;
+      pkt.tcp.seq = i;
+      net.node(a).originate(std::move(pkt));
+    }
+    sched.run();
+    events = sched.processed_count();
+    delivered = sink.received;
+    benchmark::DoNotOptimize(sink.received);
+  }
+  state.SetItemsProcessed(state.iterations() * kPackets * 3);
+  state.counters["events_per_packet"] =
+      delivered ? static_cast<double>(events) / static_cast<double>(delivered)
+                : 0.0;
+}
+BENCHMARK(BM_BatchDelivery)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_RngUniform(benchmark::State& state) {
   sim::Rng rng(1);
   double acc = 0;

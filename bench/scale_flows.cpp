@@ -16,10 +16,12 @@
 // 2 = wheel.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <functional>
 
 #include "harness/parallel_run.hpp"
 #include "harness/scenarios.hpp"
+#include "net/link_pump.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
@@ -77,27 +79,53 @@ BENCHMARK(BM_ScaleFlowsScheduler)
 // End-to-end: N-flow dumbbell for two simulated seconds. Bottleneck
 // bandwidth scales with N (constant per-flow share), so the event rate —
 // and the live timer population — grow linearly with the flow count.
+// Third argument toggles the batched hot path (0 = per-packet events,
+// 1 = link-pump carrier events); the events_per_packet counter reports
+// scheduler events per delivered packet, the metric batching collapses.
 void BM_ScaleFlowsDumbbell(benchmark::State& state) {
   const int flows = static_cast<int>(state.range(0));
+  const bool batching = state.range(2) != 0;
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
   for (auto _ : state) {
     harness::ManyFlowsConfig config;
     config.flows = flows;
     config.backend = backend_arg(state);
+    // Sampled once at Network construction (inside make_many_flows);
+    // restore the process default right after the build.
+    net::set_hot_path_batching(batching);
     auto scenario = harness::make_many_flows(config);
+    net::set_hot_path_batching(true);
     scenario->sched.run_until(sim::TimePoint::from_seconds(2));
-    benchmark::DoNotOptimize(scenario->sched.processed_count());
+    events = scenario->sched.processed_count();
+    delivered = scenario->network.conservation().delivered_to_agent;
+    benchmark::DoNotOptimize(events);
   }
+  state.counters["events_per_packet"] =
+      delivered ? static_cast<double>(events) / static_cast<double>(delivered)
+                : 0.0;
 }
 BENCHMARK(BM_ScaleFlowsDumbbell)
-    ->ArgsProduct({{16, 256, 1024}, {0, 1, 2}})
+    ->ArgNames({"flows", "backend", "batch"})
+    ->ArgsProduct({{16, 256, 1024}, {0, 1, 2}, {1}})
     ->Unit(benchmark::kMillisecond);
 
-// 4096 flows is the ceiling the builder supports; one backend pair is
-// enough to extend the scaling curve without a combinatorial blowup in
-// bench time.
+// Unbatched reference rows (heap backend): the batched/unbatched gap at
+// the same flow count is the end-to-end win the tentpole claims, recorded
+// side by side in BENCH_engine.json.
 BENCHMARK(BM_ScaleFlowsDumbbell)
-    ->Args({4096, 0})
-    ->Args({4096, 2})
+    ->ArgNames({"flows", "backend", "batch"})
+    ->ArgsProduct({{16, 256, 1024}, {0}, {0}})
+    ->Unit(benchmark::kMillisecond);
+
+// 4096 flows is the ceiling the builder supports; one backend pair plus
+// the unbatched reference is enough to extend the scaling curve without a
+// combinatorial blowup in bench time.
+BENCHMARK(BM_ScaleFlowsDumbbell)
+    ->ArgNames({"flows", "backend", "batch"})
+    ->Args({4096, 0, 1})
+    ->Args({4096, 2, 1})
+    ->Args({4096, 0, 0})
     ->Unit(benchmark::kMillisecond);
 
 // Sequential-vs-parallel rows: the same N-flow dumbbell through the
@@ -110,6 +138,8 @@ void BM_ScaleFlowsParallel(benchmark::State& state) {
   const int flows = static_cast<int>(state.range(0));
   const int lps = static_cast<int>(state.range(1));
   std::uint64_t realized = 0;
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
   for (auto _ : state) {
     harness::ManyFlowsConfig config;
     config.flows = flows;
@@ -119,9 +149,14 @@ void BM_ScaleFlowsParallel(benchmark::State& state) {
     harness::ParallelSim psim(*scenario, pc);
     psim.run_until(sim::TimePoint::from_seconds(2));
     realized = static_cast<std::uint64_t>(psim.lp_count());
-    benchmark::DoNotOptimize(psim.events_processed());
+    events = psim.events_processed();
+    delivered = scenario->network.conservation().delivered_to_agent;
+    benchmark::DoNotOptimize(events);
   }
   state.counters["lps"] = static_cast<double>(realized);
+  state.counters["events_per_packet"] =
+      delivered ? static_cast<double>(events) / static_cast<double>(delivered)
+                : 0.0;
 }
 BENCHMARK(BM_ScaleFlowsParallel)
     ->ArgNames({"flows", "lps"})

@@ -107,33 +107,39 @@ void TcpPrSender::flush_cwnd() {
     unblock_timer_.arm(send_blocked_until_);
     return;
   }
-  // Head repair runs outside the window check (like fast retransmit): the
-  // lowest pending retransmission is the cumulative-ACK blocker, and the
-  // stalled flight behind it must never be able to lock it out.
-  if (!to_be_sent_rtx_.empty()) {
-    const SeqNo head = *to_be_sent_rtx_.begin();
-    if (to_be_ack_.empty() || head < to_be_ack_.begin()->first) {
-      send_one(head);
-    }
-  }
-
-  // Table 1: while cwnd > |to-be-ack|, send the smallest pending seq.
-  // Dupack credits subtract segments known to have left the network (see
-  // TcpPrConfig::dupack_window_credit).
-  for (;;) {
-    std::size_t outstanding = to_be_ack_.size();
-    if (pr_.dupack_window_credit) {
-      outstanding -= std::min<std::size_t>(
-          outstanding, static_cast<std::size_t>(dup_credits_));
-    }
-    if (!(cwnd_ > static_cast<double>(outstanding))) break;
+  {
+    // One burst per window flush: head repair and the window loop stage
+    // their segments, the scope exit originates them as one burst, and the
+    // single drop-timer re-arm below already follows the whole loop.
+    SenderBase::BurstScope burst(*this);
+    // Head repair runs outside the window check (like fast retransmit): the
+    // lowest pending retransmission is the cumulative-ACK blocker, and the
+    // stalled flight behind it must never be able to lock it out.
     if (!to_be_sent_rtx_.empty()) {
-      send_one(*to_be_sent_rtx_.begin());
-    } else if (source_has(next_new_)) {
-      send_one(next_new_);
-      ++next_new_;
-    } else {
-      break;
+      const SeqNo head = *to_be_sent_rtx_.begin();
+      if (to_be_ack_.empty() || head < to_be_ack_.begin()->first) {
+        send_one(head);
+      }
+    }
+
+    // Table 1: while cwnd > |to-be-ack|, send the smallest pending seq.
+    // Dupack credits subtract segments known to have left the network (see
+    // TcpPrConfig::dupack_window_credit).
+    for (;;) {
+      std::size_t outstanding = to_be_ack_.size();
+      if (pr_.dupack_window_credit) {
+        outstanding -= std::min<std::size_t>(
+            outstanding, static_cast<std::size_t>(dup_credits_));
+      }
+      if (!(cwnd_ > static_cast<double>(outstanding))) break;
+      if (!to_be_sent_rtx_.empty()) {
+        send_one(*to_be_sent_rtx_.begin());
+      } else if (source_has(next_new_)) {
+        send_one(next_new_);
+        ++next_new_;
+      } else {
+        break;
+      }
     }
   }
   rearm_drop_timer();

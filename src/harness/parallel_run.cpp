@@ -52,6 +52,9 @@ ParallelSim::ParallelSim(Scenario& scenario, const ParallelRunConfig& config)
     shard->enable_seq_stamping();
     shards_.push_back(shard);
     pools_.push_back(net::PacketPool::create());
+    if (nw.pump() != nullptr) {
+      pumps_.push_back(std::make_unique<net::LinkPump>(*shard));
+    }
     lp_tracers_.push_back(std::make_unique<trace::Tracer>());
     if (tracing_) {
       sinks_.push_back(std::make_unique<BufferSink>(*shard));
@@ -72,6 +75,9 @@ ParallelSim::ParallelSim(Scenario& scenario, const ParallelRunConfig& config)
     link->set_scheduler(*shards_[static_cast<std::size_t>(lp)]);
     link->set_packet_pool(pools_[static_cast<std::size_t>(lp)]);
     link->set_tracer(lp_tracers_[static_cast<std::size_t>(lp)].get());
+    if (!pumps_.empty()) {
+      link->set_pump(pumps_[static_cast<std::size_t>(lp)].get());
+    }
   }
   for (net::Link* cut : partition_.cut_links()) {
     mailboxes_.emplace_back();
@@ -125,7 +131,13 @@ ParallelSim::~ParallelSim() {
     nw.node(static_cast<net::NodeId>(v))
         .set_tracer(&nw.tracer(), &scenario_.sched);
   }
-  for (const auto& link : nw.links()) link->set_tracer(&nw.tracer());
+  for (const auto& link : nw.links()) {
+    link->set_tracer(&nw.tracer());
+    // Drop any batched in-flight state before the per-LP pumps die; the
+    // links keep their shard schedulers (like the timers), so re-pointing
+    // them at the network's build-scheduler pump would be wrong.
+    if (!pumps_.empty()) link->detach_pump();
+  }
 }
 
 sim::Scheduler& ParallelSim::shard_for(net::NodeId node) {
@@ -137,6 +149,27 @@ void ParallelSim::set_checker(validate::InvariantChecker* checker) {
   if (checker_ != nullptr) {
     checker_->set_external_in_flight([this] { return external_in_flight(); });
   }
+}
+
+net::LinkPump::Stats ParallelSim::pump_stats() const {
+  net::LinkPump::Stats total;
+  for (const auto& pump : pumps_) {
+    const net::LinkPump::Stats& s = pump->stats();
+    total.events += s.events;
+    total.ops += s.ops;
+    total.delivery_runs += s.delivery_runs;
+    total.delivered_in_runs += s.delivered_in_runs;
+  }
+  return total;
+}
+
+net::LinkPump::RunHistogram ParallelSim::pump_histogram() const {
+  net::LinkPump::RunHistogram total{};
+  for (const auto& pump : pumps_) {
+    const net::LinkPump::RunHistogram h = pump->aggregate_histogram();
+    for (std::size_t i = 0; i < total.size(); ++i) total[i] += h[i];
+  }
+  return total;
 }
 
 std::uint64_t ParallelSim::events_processed() const {
@@ -173,13 +206,18 @@ std::uint64_t ParallelSim::exchange() {
     if (buf.empty()) continue;
     sim::Scheduler& dst = *shards_[static_cast<std::size_t>(mb.dst_lp)];
     auto& pool = pools_[static_cast<std::size_t>(mb.dst_lp)];
+    // One free-list splice covers the whole drain instead of a pool
+    // round-trip per message.
+    ref_scratch_.resize(buf.size());
+    pool->alloc_n(buf.size(), ref_scratch_.data());
+    std::size_t ri = 0;
     for (net::CrossLinkMsg& msg : buf) {
-      // {channel, node, pooled packet} is 40 bytes: the injected event
+      // {channel, node, pooled packet} is 48 bytes: the injected event
       // stays inside the scheduler's inline callback buffer.
       dst.schedule_at_stamped(
           msg.at, msg.stamp,
           [ch = &mb.channel, node = mb.dst_node,
-           p = pool->make(std::move(msg.pkt))]() mutable {
+           p = pool->adopt(ref_scratch_[ri++], std::move(msg.pkt))]() mutable {
             ++ch->executed;
             node->receive(std::move(*p));
           });

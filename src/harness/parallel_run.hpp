@@ -39,6 +39,8 @@
 
 #include "harness/partition.hpp"
 #include "harness/scenarios.hpp"
+#include "net/link_pump.hpp"
+#include "net/packet_pool.hpp"
 #include "sim/parallel_engine.hpp"
 #include "trace/trace.hpp"
 
@@ -91,6 +93,10 @@ class ParallelSim {
   // Events fired across all shards (the parallel counterpart of the build
   // scheduler's processed_count()).
   std::uint64_t events_processed() const;
+  // Aggregate batch-pump counters across the per-LP pumps (all zeros when
+  // the scenario's network was built with hot-path batching off).
+  net::LinkPump::Stats pump_stats() const;
+  net::LinkPump::RunHistogram pump_histogram() const;
 
  private:
   // Buffers one LP's trace records with the merge key: the record, the
@@ -130,6 +136,11 @@ class ParallelSim {
   Partition partition_;
   std::vector<sim::Scheduler*> shards_;  // borrowed from scenario_.lp_scheds
   std::vector<std::shared_ptr<net::PacketPool>> pools_;
+  // One batch pump per LP when the scenario's network was built batched
+  // (empty otherwise). Links are re-pointed here from the network's own
+  // pump and detached again in the destructor, before these die.
+  std::vector<std::unique_ptr<net::LinkPump>> pumps_;
+  std::vector<net::PacketPool::Ref> ref_scratch_;  // exchange() bulk alloc
   std::vector<std::unique_ptr<trace::Tracer>> lp_tracers_;
   std::vector<std::unique_ptr<BufferSink>> sinks_;  // empty when not tracing
   std::deque<Mailbox> mailboxes_;  // deque: links hold channel pointers

@@ -62,6 +62,20 @@ void Link::set_jitter(sim::Duration max_jitter, sim::Rng rng) {
   jitter_rng_ = rng;
 }
 
+void Link::set_pump(LinkPump* pump) {
+  TCPPR_CHECK(!busy_ && in_transit_ == 0);
+  TCPPR_CHECK(pump == nullptr || &pump->scheduler() == sched_);
+  pump_ = pump;
+  if (pump_ != nullptr) pump_id_ = pump_->add_link(this);
+}
+
+void Link::detach_pump() {
+  pump_ = nullptr;
+  tx_pending_ = false;
+  tx_pkt_.reset();
+  ring_.clear();
+}
+
 void Link::send(Packet&& pkt) {
   if (down_ || (drop_filter_ && drop_filter_(pkt))) {
     ++stats_.lost;
@@ -98,33 +112,61 @@ PacketPool& Link::pool() {
 }
 
 void Link::start_transmission() {
-  auto pkt = queue_->dequeue();
-  if (!pkt) {
+  if (queue_->length_packets() == 0) {
     busy_ = false;
     return;
   }
+  // Dequeue straight into a recycled pool slot: dequeue_into overwrites
+  // the slot wholesale, so the ~300-byte Packet moves once instead of
+  // bouncing through an optional and a second pool move.
+  PooledPacket pkt = pool().checkout();
+  const bool dequeued = queue_->dequeue_into(*pkt);
+  TCPPR_DCHECK(dequeued);
+  (void)dequeued;
   busy_ = true;
   ++in_transit_;
-  if (tracer_ != nullptr) {
+  if (tracer_ != nullptr && tracer_->active()) {
     tracer_->emit(sched_->now(), trace::EventType::kDequeue, *pkt, from_, to_);
   }
   const double tx_seconds =
       static_cast<double>(pkt->size_bytes) * 8.0 / bandwidth_bps_;
-  // Check the packet out of the pool for its trip through the scheduler:
-  // the {this, pooled pointer} capture fits the event slot's inline
-  // callback buffer, so the completion event allocates nothing.
-  sched_->schedule_in_for(
-      sim::Duration::seconds(tx_seconds), static_cast<std::uint32_t>(from_),
-      [this, p = pool().make(std::move(*pkt))]() mutable {
-        on_tx_complete(std::move(p));
-      });
+  const sim::TimePoint at =
+      sched_->now() + sim::Duration::seconds(tx_seconds);
+  const std::uint64_t seq =
+      sched_->mint_seq(static_cast<std::uint32_t>(from_));
+  last_tx_mint_valid_ = true;
+  last_tx_mint_ = PumpKey{sched_->now(), seq};
+  if (pump_ != nullptr) {
+    tx_pending_ = true;
+    tx_key_ = PumpKey{at, seq};
+    tx_pkt_ = std::move(pkt);
+    pump_->push_op(tx_key_, pump_id_, PumpOp::kTxComplete);
+    return;
+  }
+  // The packet rides the scheduler in its pool slot: the {this, pooled
+  // pointer} capture fits the event slot's inline callback buffer, so the
+  // completion event allocates nothing.
+  sched_->schedule_at_stamped(at, seq, [this, p = std::move(pkt)]() mutable {
+    on_tx_complete(std::move(p));
+  });
 }
 
 void Link::on_tx_complete(PooledPacket pkt) {
   // Transmitter is free: begin the next packet (if any) before modelling
   // this packet's propagation.
   start_transmission();
+  complete_packet(std::move(pkt));
+}
 
+void Link::pump_run_tx() {
+  TCPPR_DCHECK(tx_pending_);
+  tx_pending_ = false;
+  PooledPacket p = std::move(tx_pkt_);
+  start_transmission();
+  complete_packet(std::move(p));
+}
+
+void Link::complete_packet(PooledPacket pkt) {
   if (loss_rate_ > 0 && loss_rng_.bernoulli(loss_rate_)) {
     ++stats_.lost;
     ++stats_.loss_model_lost;
@@ -160,15 +202,114 @@ void Link::on_tx_complete(PooledPacket pkt) {
                      std::move(*pkt)});
     return;  // the pooled shell returns to this shard's pool
   }
-  sched_->schedule_in_for(delivery_delay, static_cast<std::uint32_t>(from_),
-                          [this, p = std::move(pkt)]() mutable {
-    ++stats_.delivered;
-    stats_.bytes_delivered += p->size_bytes;
-    if (!skip_transit_decrement_) --in_transit_;
-    TCPPR_DCHECK(dst_node_ != nullptr);
-    dst_node_->receive(std::move(*p));
-    // p's release into the pool recycles the packet for the next hop.
+  const sim::TimePoint at = sched_->now() + delivery_delay;
+  const std::uint64_t seq =
+      sched_->mint_seq(static_cast<std::uint32_t>(from_));
+  // Op-order invariant (the schedule batching preserves): the delivery op
+  // minted after this packet's loss lottery sorts after the next-packet
+  // transmission op minted before it. Stamps embed the mint instant and a
+  // per-(node, instant) counter, the legacy counter is globally monotone —
+  // either way later mints sort later; assert it rather than assume it.
+  TCPPR_DCHECK(!last_tx_mint_valid_ || last_tx_mint_.at != sched_->now() ||
+               seq > last_tx_mint_.seq);
+  if (pump_ != nullptr) {
+    insert_delivery(at, seq, std::move(pkt));
+    return;
+  }
+  sched_->schedule_at_stamped(at, seq, [this, p = std::move(pkt)]() mutable {
+    deliver_one(std::move(p));
   });
+}
+
+void Link::deliver_one(PooledPacket p) {
+  ++stats_.delivered;
+  stats_.bytes_delivered += p->size_bytes;
+  if (!skip_transit_decrement_) --in_transit_;
+  TCPPR_DCHECK(dst_node_ != nullptr);
+  dst_node_->receive(std::move(*p));
+  // p's release into the pool recycles the packet for the next hop.
+}
+
+void Link::insert_delivery(sim::TimePoint at, std::uint64_t seq,
+                           PooledPacket pkt) {
+  ring_.push_back(DeliveryEntry{at, seq, std::move(pkt)});
+  // Merge position: in-order deliveries (the common case — jitter-free
+  // links mint nondecreasing keys) append in O(1); a jittered early
+  // arrival swaps backward to its slot, keeping the ring the sorted merge
+  // of the link's delivery stream.
+  std::size_t i = ring_.size() - 1;
+  while (i > 0 && (at < ring_[i - 1].at ||
+                   (at == ring_[i - 1].at && seq < ring_[i - 1].seq))) {
+    std::swap(ring_[i], ring_[i - 1]);
+    --i;
+  }
+  if (i == 0) {
+    // New head (first entry, or an early arrival that overtook the old
+    // head — whose index entry in the pump goes stale).
+    pump_->push_op(PumpKey{at, seq}, pump_id_, PumpOp::kDeliver);
+  }
+}
+
+void Link::pump_run_deliveries() {
+  TCPPR_DCHECK(!ring_.empty());
+  DeliveryEntry first = ring_.pop_front();
+  const sim::TimePoint at = first.at;
+  // Fast path: no same-time successor can ride this event — deliver
+  // without touching a batch.
+  if (ring_.empty() || ring_.front().at != at ||
+      !pump_->try_extend(PumpKey{ring_.front().at, ring_.front().seq})) {
+    pump_->note_delivery_run(pump_id_, 1);
+    deliver_one(std::move(first.pkt));
+    if (!ring_.empty()) {
+      pump_->push_op(PumpKey{ring_.front().at, ring_.front().seq}, pump_id_,
+                     PumpOp::kDeliver);
+    }
+    return;
+  }
+  // The pump accepted the successor: collect the run into one batch. Each
+  // entry carries the sequence its own delivery event would have had, so
+  // the node can advance the clock per packet and keep trace records keyed
+  // exactly as the unbatched engine keys them.
+  PacketBatch batch;
+  auto account = [this](DeliveryEntry& e, PacketBatch& b) {
+    ++stats_.delivered;
+    stats_.bytes_delivered += e.pkt->size_bytes;
+    if (!skip_transit_decrement_) --in_transit_;
+    b.push(std::move(*e.pkt), e.seq);
+    // The pooled shell releases here; the packet payload rides the batch.
+  };
+  account(first, batch);
+  DeliveryEntry next = ring_.pop_front();  // the entry try_extend accepted
+  account(next, batch);
+  while (!ring_.empty() && ring_.front().at == at &&
+         pump_->try_extend(PumpKey{ring_.front().at, ring_.front().seq})) {
+    DeliveryEntry e = ring_.pop_front();
+    account(e, batch);
+  }
+  pump_->note_delivery_run(pump_id_, batch.size());
+  TCPPR_DCHECK(dst_node_ != nullptr);
+  dst_node_->receive_batch(std::move(batch));
+  if (!ring_.empty()) {
+    pump_->push_op(PumpKey{ring_.front().at, ring_.front().seq}, pump_id_,
+                   PumpOp::kDeliver);
+  }
+}
+
+void Link::send_batch(PacketBatch& batch, std::size_t begin, std::size_t end) {
+  std::size_t i = begin;
+  for (; i < end && !busy_; ++i) send(std::move(batch[i]));
+  if (i >= end) return;
+  if (down_ || drop_filter_ || (tracer_ != nullptr && tracer_->active())) {
+    // Entry drops and per-packet trace records need the full per-packet
+    // path; these are cold configurations (fault injection, tracing runs).
+    for (; i < end; ++i) send(std::move(batch[i]));
+    return;
+  }
+  // Transmitter busy and nothing can drop at entry: no dequeue can
+  // interleave with these admissions, so the queue takes the whole
+  // remainder in one batched call (identical per-packet decisions).
+  for (std::size_t k = i; k < end; ++k) batch[k].enqueued_at = sched_->now();
+  queue_->enqueue_batch(batch, i, end);
 }
 
 }  // namespace tcppr::net

@@ -12,11 +12,14 @@
 #include <utility>
 #include <vector>
 
+#include "net/link_pump.hpp"
 #include "net/packet.hpp"
+#include "net/packet_batch.hpp"
 #include "net/packet_pool.hpp"
 #include "net/queue.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "util/ring_deque.hpp"
 
 namespace tcppr::trace {
 class Tracer;
@@ -109,6 +112,42 @@ class Link {
   // Hands a packet to this link; may drop it immediately if the queue is
   // full.
   void send(Packet&& pkt);
+  // Hands batch entries [begin, end) to this link in order. Packets are
+  // fed one at a time while the transmitter is idle (each may start a
+  // transmission, which the next admission must observe); once the
+  // transmitter is busy the rest takes the bulk-enqueue path, whose
+  // per-packet admission decisions are identical.
+  void send_batch(PacketBatch& batch, std::size_t begin, std::size_t end);
+
+  // --- Batched hot path (LinkPump) ---------------------------------------
+  // Routes this link's packet ops (tx completions, deliveries) through the
+  // pump instead of dedicated scheduler events. The pump must be bound to
+  // this link's scheduler; only legal while idle. nullptr restores the
+  // unbatched per-event path.
+  void set_pump(LinkPump* pump);
+  // Teardown variant: drops the pump wiring and any batched in-flight
+  // state even when the link is mid-transmission (parallel-run
+  // destruction; pending packets return to the pool).
+  void detach_pump();
+  // Current head key of the given op stream, or nullopt when the stream is
+  // empty. The pump validates its index entries against this on every heap
+  // inspection — inline, it's a pair of loads on the hot path.
+  std::optional<PumpKey> pump_op_key(PumpOp op) const {
+    if (op == PumpOp::kTxComplete) {
+      if (!tx_pending_) return std::nullopt;
+      return tx_key_;
+    }
+    if (ring_.empty()) return std::nullopt;
+    return PumpKey{ring_.front().at, ring_.front().seq};
+  }
+  // Executes the pending transmission-completion op (clock already at its
+  // key): frees the transmitter, starts the next transmission, then runs
+  // the completed packet's loss lottery / propagation setup.
+  void pump_run_tx();
+  // Executes the delivery at the ring head plus every same-time successor
+  // the pump lets ride the current event, handing multi-packet runs to the
+  // destination node as one PacketBatch.
+  void pump_run_deliveries();
 
   NodeId from() const { return from_; }
   NodeId to() const { return to_; }
@@ -134,6 +173,19 @@ class Link {
  private:
   void start_transmission();
   void on_tx_complete(PooledPacket pkt);
+  // Post-transmission half of a packet's journey: loss lottery, hop count,
+  // jitter, then delivery scheduling (mailbox, pump ring, or dedicated
+  // event). Mint order matches the unbatched engine exactly: the next
+  // transmission's sequence first (start_transmission), then the loss
+  // lottery draw, then this packet's delivery sequence.
+  void complete_packet(PooledPacket pkt);
+  // Delivery epilogue for one packet: stats, in-transit accounting, node
+  // hand-off.
+  void deliver_one(PooledPacket p);
+  // Sorted insert into the delivery ring (merge position by (at, seq);
+  // append is O(1) for in-order deliveries, jittered ones swap backward).
+  void insert_delivery(sim::TimePoint at, std::uint64_t seq,
+                       PooledPacket pkt);
   PacketPool& pool();
 
   sim::Scheduler* sched_;
@@ -158,6 +210,28 @@ class Link {
   std::function<bool(const Packet&)> drop_filter_;
   trace::Tracer* tracer_ = nullptr;
   LinkStats stats_;
+
+  // --- Batched hot path state --------------------------------------------
+  LinkPump* pump_ = nullptr;
+  std::uint32_t pump_id_ = 0;
+  // Pending transmission-completion op (at most one; the transmitter is
+  // serial).
+  bool tx_pending_ = false;
+  PumpKey tx_key_{};
+  PooledPacket tx_pkt_{};
+  // Pending deliveries in (at, seq) order.
+  struct DeliveryEntry {
+    sim::TimePoint at;
+    std::uint64_t seq;
+    PooledPacket pkt;
+  };
+  util::RingDeque<DeliveryEntry> ring_;
+  // Mint-order bookkeeping: the last transmission-schedule op minted, used
+  // to assert that a delivery op minted in the same instant (i.e. after
+  // the loss lottery that follows the mint) sorts after it — the op-order
+  // invariant batching relies on.
+  bool last_tx_mint_valid_ = false;
+  PumpKey last_tx_mint_{};
 };
 
 }  // namespace tcppr::net

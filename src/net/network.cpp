@@ -32,6 +32,7 @@ Link& Network::add_link_with_queue(NodeId from, NodeId to,
   link.set_destination(nodes_[static_cast<std::size_t>(to)].get());
   link.set_tracer(&tracer_);
   link.set_packet_pool(pool_);
+  if (pump_ != nullptr) link.set_pump(pump_.get());
   nodes_[static_cast<std::size_t>(from)]->add_out_link(&link);
   return link;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/link.hpp"
+#include "net/link_pump.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
@@ -26,7 +27,12 @@ struct LinkConfig {
 
 class Network {
  public:
-  explicit Network(sim::Scheduler& sched) : sched_(sched) {}
+  // The batched hot path (net::set_hot_path_batching) is sampled here,
+  // once: a network is born batched or unbatched and stays that way.
+  explicit Network(sim::Scheduler& sched)
+      : sched_(sched),
+        pump_(hot_path_batching() ? std::make_unique<LinkPump>(sched)
+                                  : nullptr) {}
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -67,6 +73,12 @@ class Network {
   // whole network draw from one free list.
   const std::shared_ptr<PacketPool>& packet_pool() const { return pool_; }
 
+  // Batch carrier for the sequential engine; null when the network was
+  // built with hot-path batching off (parallel shards install their own
+  // per-LP pumps instead — see harness/parallel_run).
+  LinkPump* pump() { return pump_.get(); }
+  const LinkPump* pump() const { return pump_.get(); }
+
   // Attaches a trace sink; all packet events at every node and link are
   // reported from then on.
   void add_trace_sink(trace::TraceSink* sink) { tracer_.add_sink(sink); }
@@ -102,6 +114,9 @@ class Network {
   std::shared_ptr<PacketPool> pool_ = PacketPool::create();
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
+  // Declared after links_: destroyed first, so its parked carrier event is
+  // cancelled while the links it serves are still alive.
+  std::unique_ptr<LinkPump> pump_;
   std::atomic<std::uint64_t> next_uid_{1};
 };
 

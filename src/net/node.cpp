@@ -17,8 +17,9 @@ void Node::add_out_link(Link* link) {
 }
 
 void Node::set_next_hop(NodeId dst, NodeId next_hop) {
-  TCPPR_CHECK(out_links_.contains(next_hop));
-  next_hop_table_[dst] = next_hop;
+  const auto link = out_links_.find(next_hop);
+  TCPPR_CHECK(link != out_links_.end());
+  next_hop_table_[dst] = Hop{next_hop, link->second};
 }
 
 void Node::attach_agent(FlowId flow, Agent* agent) {
@@ -28,7 +29,10 @@ void Node::attach_agent(FlowId flow, Agent* agent) {
   (void)it;
 }
 
-void Node::detach_agent(FlowId flow) { agents_.erase(flow); }
+void Node::detach_agent(FlowId flow) {
+  agents_.erase(flow);
+  if (cached_flow_ == flow) cached_agent_ = nullptr;
+}
 
 void Node::set_ecmp_next_hops(NodeId dst, std::vector<NodeId> next_hops,
                               sim::Rng rng) {
@@ -48,29 +52,78 @@ Link* Node::link_to(NodeId neighbor) const {
 std::optional<NodeId> Node::next_hop(NodeId dst) const {
   const auto it = next_hop_table_.find(dst);
   if (it == next_hop_table_.end()) return std::nullopt;
-  return it->second;
+  return it->second.via;
 }
 
 void Node::receive(Packet&& pkt) {
   if (pkt.dst == id_) {
-    const auto it = agents_.find(pkt.tcp.flow);
-    if (it == agents_.end()) {
+    Agent* agent = find_agent(pkt.tcp.flow);
+    if (agent == nullptr) {
       ++stats_.unroutable;
       TCPPR_LOG_WARN("node", "node %d: no agent for flow %d", id_,
                      pkt.tcp.flow);
       return;
     }
     ++stats_.delivered_to_agent;
-    if (tracer_ != nullptr) {
+    if (tracer_ != nullptr && tracer_->active()) {
       tracer_->emit(sched_->now(), trace::EventType::kDeliver, pkt, id_, id_);
     }
-    it->second->deliver(std::move(pkt));
+    agent->deliver(std::move(pkt));
     return;
   }
   forward(std::move(pkt));
 }
 
-void Node::originate(Packet&& pkt) {
+void Node::receive_batch(PacketBatch&& batch) {
+  const std::size_t n = batch.size();
+  std::size_t i = 0;
+  while (i < n) {
+    // Each packet's processing runs under the sequence of the delivery
+    // event it would have been, so anything it emits (trace records in
+    // particular) is keyed identically to the unbatched run.
+    if (sched_ != nullptr && batch.seq(i) != 0) {
+      sched_->advance_batched_op(sched_->now(), batch.seq(i));
+    }
+    Packet& pkt = batch[i];
+    if (pkt.dst != id_) {
+      forward(std::move(pkt));
+      ++i;
+      continue;
+    }
+    Agent* agent = find_agent(pkt.tcp.flow);
+    if (agent == nullptr) {
+      ++stats_.unroutable;
+      TCPPR_LOG_WARN("node", "node %d: no agent for flow %d", id_,
+                     pkt.tcp.flow);
+      ++i;
+      continue;
+    }
+    // Extend the run over consecutive packets for the same agent; the
+    // per-packet delivery epilogue (stats, kDeliver record under the
+    // packet's own sequence) happens here, the agent sees one batch.
+    const bool tracing = tracer_ != nullptr && tracer_->active();
+    std::size_t j = i;
+    for (;;) {
+      if (j > i && sched_ != nullptr && batch.seq(j) != 0) {
+        sched_->advance_batched_op(sched_->now(), batch.seq(j));
+      }
+      ++stats_.delivered_to_agent;
+      if (tracing) {
+        tracer_->emit(sched_->now(), trace::EventType::kDeliver, batch[j],
+                      id_, id_);
+      }
+      ++j;
+      if (j >= n || batch[j].dst != id_ ||
+          batch[j].tcp.flow != pkt.tcp.flow) {
+        break;
+      }
+    }
+    agent->deliver_batch(batch, i, j);
+    i = j;
+  }
+}
+
+void Node::originate_prologue(Packet& pkt) {
   ++stats_.originated;
   pkt.src = id_;
   if (routing_policy_ != nullptr) {
@@ -80,10 +133,14 @@ void Node::originate(Packet&& pkt) {
       pkt.path_id = choice->path_id;
     }
   }
-  if (tracer_ != nullptr) {
+  if (tracer_ != nullptr && tracer_->active()) {
     tracer_->emit(sched_->now(), trace::EventType::kOriginate, pkt, id_,
                   pkt.dst);
   }
+}
+
+void Node::originate(Packet&& pkt) {
+  originate_prologue(pkt);
   if (pkt.dst == id_) {  // loopback, mostly for tests
     receive(std::move(pkt));
     return;
@@ -91,29 +148,79 @@ void Node::originate(Packet&& pkt) {
   forward(std::move(pkt));
 }
 
-void Node::forward(Packet&& pkt) {
+void Node::originate_burst(PacketBatch&& batch) {
+  const std::size_t n = batch.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Loopback packets re-enter agent processing between routing
+    // decisions; that interleaving only the per-packet path preserves.
+    if (batch[i].dst == id_) {
+      for (std::size_t k = 0; k < n; ++k) originate(std::move(batch[k]));
+      return;
+    }
+  }
+  // Per-packet prologue and routing decision run in order (policy and ECMP
+  // RNG draws keep their sequence); consecutive packets choosing the same
+  // link flush as one send_batch. Relative to the per-packet path this
+  // only moves link admissions after later routing decisions — admissions
+  // touch no RNG and no routing state, so every per-packet outcome is
+  // unchanged.
+  Link* run_link = nullptr;
+  std::size_t run_begin = 0;
+  auto flush = [&](std::size_t run_end) {
+    if (run_link == nullptr || run_end == run_begin) return;
+    if (run_end - run_begin == 1) {
+      run_link->send(std::move(batch[run_begin]));
+    } else {
+      run_link->send_batch(batch, run_begin, run_end);
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    originate_prologue(batch[i]);
+    Link* link = pick_link(batch[i]);
+    if (link != run_link) {
+      flush(i);
+      run_link = link;
+      run_begin = i;
+    }
+  }
+  flush(n);
+}
+
+Link* Node::pick_link(Packet& pkt) {
   NodeId next = kInvalidNode;
   if (!pkt.source_route.empty() && pkt.route_pos < pkt.source_route.size()) {
     next = pkt.source_route[pkt.route_pos++];
-  } else if (const auto ecmp = ecmp_table_.find(pkt.dst);
-             ecmp != ecmp_table_.end()) {
-    next = ecmp->second[ecmp_rng_.uniform_int(ecmp->second.size())];
-  } else if (auto hop = next_hop(pkt.dst)) {
-    next = *hop;
+  } else if (!ecmp_table_.empty()) {
+    if (const auto ecmp = ecmp_table_.find(pkt.dst);
+        ecmp != ecmp_table_.end()) {
+      next = ecmp->second[ecmp_rng_.uniform_int(ecmp->second.size())];
+    }
   }
   if (next == kInvalidNode) {
+    // Static routing fast path: the table entry carries the resolved link,
+    // so the common case is a single hash lookup.
+    const auto it = next_hop_table_.find(pkt.dst);
+    if (it != next_hop_table_.end()) {
+      ++stats_.forwarded;
+      return it->second.link;
+    }
     ++stats_.unroutable;
     TCPPR_LOG_WARN("node", "node %d: no route to %d", id_, pkt.dst);
-    return;
+    return nullptr;
   }
   Link* link = link_to(next);
   if (link == nullptr) {
     ++stats_.unroutable;
     TCPPR_LOG_WARN("node", "node %d: no link to next hop %d", id_, next);
-    return;
+    return nullptr;
   }
   ++stats_.forwarded;
-  link->send(std::move(pkt));
+  return link;
+}
+
+void Node::forward(Packet&& pkt) {
+  Link* link = pick_link(pkt);
+  if (link != nullptr) link->send(std::move(pkt));
 }
 
 }  // namespace tcppr::net

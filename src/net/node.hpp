@@ -13,6 +13,7 @@
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "net/packet_batch.hpp"
 
 namespace tcppr::trace {
 class Tracer;
@@ -25,6 +26,15 @@ class Agent {
  public:
   virtual ~Agent() = default;
   virtual void deliver(Packet&& pkt) = 0;
+  // Batched delivery: entries [begin, end) of the batch all belong to this
+  // agent and arrived in one scheduler event. The default preserves
+  // per-packet semantics exactly (senders keep it: their per-ACK
+  // congestion updates are order-sensitive); the Receiver overrides it to
+  // fold the batch into one ACK train.
+  virtual void deliver_batch(PacketBatch& batch, std::size_t begin,
+                             std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) deliver(std::move(batch[i]));
+  }
 };
 
 // Decides a full route for packets originated at a node; used to implement
@@ -75,20 +85,57 @@ class Node {
 
   // Entry point for packets arriving from a link.
   void receive(Packet&& pkt);
+  // Batched entry point: a delivery run coalesced by the link pump. Each
+  // entry carries the tie-break sequence of the delivery event it replaces
+  // so the clock's current-event sequence advances per packet (buffered
+  // trace records stay keyed exactly as in the unbatched engine).
+  // Consecutive packets for the same agent hand off as one deliver_batch.
+  void receive_batch(PacketBatch&& batch);
   // Entry point for locally generated packets.
   void originate(Packet&& pkt);
+  // Burst entry point: a sender window-burst or receiver ACK train. Runs
+  // the per-packet originate prologue (stats, routing policy, trace) in
+  // order, then hands consecutive same-link runs to Link::send_batch.
+  void originate_burst(PacketBatch&& batch);
 
   Link* link_to(NodeId neighbor) const;
   std::optional<NodeId> next_hop(NodeId dst) const;
   const NodeStats& stats() const { return stats_; }
 
  private:
+  // Next-hop entry: the neighbor id plus the resolved link, so forwarding
+  // pays one table lookup instead of two (dst -> neighbor -> link).
+  struct Hop {
+    NodeId via = kInvalidNode;
+    Link* link = nullptr;
+  };
+
   void forward(Packet&& pkt);
+  // Forwarding decision only (source route / ECMP / next-hop table, with
+  // the same stats and route_pos mutations as forward()); nullptr when
+  // unroutable.
+  Link* pick_link(Packet& pkt);
+  // The originate() prologue shared with originate_burst().
+  void originate_prologue(Packet& pkt);
+  // Agent lookup with a one-entry cache: delivery streams are bursty per
+  // flow, so consecutive lookups usually hit the same agent.
+  Agent* find_agent(FlowId flow) {
+    if (cached_agent_ != nullptr && cached_flow_ == flow) {
+      return cached_agent_;
+    }
+    const auto it = agents_.find(flow);
+    if (it == agents_.end()) return nullptr;
+    cached_flow_ = flow;
+    cached_agent_ = it->second;
+    return cached_agent_;
+  }
 
   NodeId id_;
-  std::unordered_map<NodeId, Link*> out_links_;       // by neighbor id
-  std::unordered_map<NodeId, NodeId> next_hop_table_;  // dst -> neighbor
+  std::unordered_map<NodeId, Link*> out_links_;     // by neighbor id
+  std::unordered_map<NodeId, Hop> next_hop_table_;  // dst -> (neighbor, link)
   std::unordered_map<FlowId, Agent*> agents_;
+  FlowId cached_flow_ = kInvalidFlow;
+  Agent* cached_agent_ = nullptr;
   std::unordered_map<NodeId, std::vector<NodeId>> ecmp_table_;
   SourceRoutingPolicy* routing_policy_ = nullptr;
   trace::Tracer* tracer_ = nullptr;

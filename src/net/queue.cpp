@@ -38,6 +38,51 @@ std::optional<Packet> DropTailQueue::dequeue() {
   return pkt;
 }
 
+bool DropTailQueue::dequeue_into(Packet& out) {
+  if (q_.empty()) return false;
+  Packet& front = q_.front();
+  bytes_ -= front.size_bytes;
+  ++stats_.dequeued;
+  stats_.bytes_dequeued += front.size_bytes;
+  out = std::move(front);
+  q_.drop_front();
+  return true;
+}
+
+std::size_t DropTailQueue::enqueue_batch(PacketBatch& batch, std::size_t begin,
+                                         std::size_t end) {
+  // With the byte cap off, admission depends only on the packet count, so
+  // the whole burst splits into an accepted prefix and a dropped suffix in
+  // one limit check — same outcomes, stats folded per half.
+  if (limit_bytes_ != 0) return Queue::enqueue_batch(batch, begin, end);
+  const std::size_t room = limit_ > q_.size() ? limit_ - q_.size() : 0;
+  const std::size_t n = end - begin;
+  const std::size_t accepted = n < room ? n : room;
+  for (std::size_t i = begin; i < begin + accepted; ++i) {
+    bytes_ += batch[i].size_bytes;
+    stats_.bytes_enqueued += batch[i].size_bytes;
+    q_.push_back(std::move(batch[i]));
+  }
+  stats_.enqueued += accepted;
+  for (std::size_t i = begin + accepted; i < end; ++i) {
+    stats_.bytes_dropped += batch[i].size_bytes;
+  }
+  stats_.dropped += n - accepted;
+  return accepted;
+}
+
+std::size_t DropTailQueue::dequeue_batch(std::size_t max_n, PacketBatch& out) {
+  const std::size_t moved = max_n < q_.size() ? max_n : q_.size();
+  for (std::size_t i = 0; i < moved; ++i) {
+    Packet pkt = q_.pop_front();
+    bytes_ -= pkt.size_bytes;
+    stats_.bytes_dequeued += pkt.size_bytes;
+    out.push(std::move(pkt));
+  }
+  stats_.dequeued += moved;
+  return moved;
+}
+
 PriorityQueue::PriorityQueue(int bands, std::size_t limit_per_band,
                              Classifier classifier)
     : limit_per_band_(limit_per_band),

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "net/packet_batch.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 #include "util/ring_deque.hpp"
@@ -40,6 +41,44 @@ class Queue {
   // Takes ownership of pkt; returns false (and drops) when full.
   virtual bool enqueue(Packet&& pkt) = 0;
   virtual std::optional<Packet> dequeue() = 0;
+  // Dequeues directly into `out` (overwriting it wholesale); returns false
+  // when nothing is queued. Decisions and stats are identical to dequeue();
+  // the point is skipping the optional<Packet> round-trip — the link
+  // dequeues straight into a recycled pool slot. The default wraps
+  // dequeue(); disciplines with a FIFO fast path override.
+  virtual bool dequeue_into(Packet& out) {
+    auto pkt = dequeue();
+    if (!pkt) return false;
+    out = std::move(*pkt);
+    return true;
+  }
+
+  // Batched variants for burst admission/service. Per-packet admission
+  // decisions and stats are identical to calling enqueue()/dequeue() in a
+  // loop — the default does exactly that — so disciplines whose decisions
+  // are per-packet by nature (RED's drop lottery, Priority's classifier)
+  // inherit it unchanged, while DropTail hoists its limit checks out of
+  // the loop. enqueue_batch consumes entries [begin, end) of the batch and
+  // returns how many were accepted; dequeue_batch appends up to max_n
+  // packets to out and returns how many it moved.
+  virtual std::size_t enqueue_batch(PacketBatch& batch, std::size_t begin,
+                                    std::size_t end) {
+    std::size_t accepted = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (enqueue(std::move(batch[i]))) ++accepted;
+    }
+    return accepted;
+  }
+  virtual std::size_t dequeue_batch(std::size_t max_n, PacketBatch& out) {
+    std::size_t moved = 0;
+    while (moved < max_n) {
+      auto pkt = dequeue();
+      if (!pkt) break;
+      out.push(std::move(*pkt));
+      ++moved;
+    }
+    return moved;
+  }
   virtual std::size_t length_packets() const = 0;
   virtual std::uint64_t length_bytes() const = 0;
 
@@ -67,6 +106,10 @@ class DropTailQueue final : public Queue {
 
   bool enqueue(Packet&& pkt) override;
   std::optional<Packet> dequeue() override;
+  bool dequeue_into(Packet& out) override;
+  std::size_t enqueue_batch(PacketBatch& batch, std::size_t begin,
+                            std::size_t end) override;
+  std::size_t dequeue_batch(std::size_t max_n, PacketBatch& out) override;
   std::size_t length_packets() const override { return q_.size(); }
   std::uint64_t length_bytes() const override { return bytes_; }
   std::size_t limit_packets() const { return limit_; }

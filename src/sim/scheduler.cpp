@@ -88,8 +88,33 @@ void Scheduler::fire(const QueuedEvent& event) {
   free_head_ = index;
 }
 
+bool Scheduler::would_fire_next(TimePoint t, std::uint64_t seq) {
+  if (stopped_) return false;
+  switch (run_limit_) {
+    case RunLimit::kNone:
+      break;
+    case RunLimit::kInclusive:
+      if (t > run_limit_time_) return false;
+      break;
+    case RunLimit::kExclusive:
+      if (t >= run_limit_time_) return false;
+      break;
+  }
+  for (;;) {
+    if (live_count_ == 0) return true;
+    const auto next = queue_->peek_min();
+    if (!next) return true;
+    if (!is_live(next->id)) {
+      queue_->pop_min();
+      continue;
+    }
+    return t < next->time || (t == next->time && seq < next->seq);
+  }
+}
+
 void Scheduler::run() {
   stopped_ = false;
+  run_limit_ = RunLimit::kNone;
   while (!stopped_) {
     if (live_count_ == 0) {
       // Everything still queued is a cancelled stale; popping each one
@@ -106,6 +131,8 @@ void Scheduler::run() {
 
 void Scheduler::run_until(TimePoint deadline) {
   stopped_ = false;
+  run_limit_ = RunLimit::kInclusive;
+  run_limit_time_ = deadline;
   while (!stopped_) {
     if (live_count_ == 0) {
       queue_->clear();
@@ -128,6 +155,8 @@ void Scheduler::run_until(TimePoint deadline) {
 
 void Scheduler::run_until_before(TimePoint horizon) {
   stopped_ = false;
+  run_limit_ = RunLimit::kExclusive;
+  run_limit_time_ = horizon;
   while (!stopped_) {
     if (live_count_ == 0) {
       queue_->clear();

@@ -154,6 +154,38 @@ class Scheduler {
   // replay records in the same order the sequential run emitted them.
   std::uint64_t current_event_seq() const { return current_event_seq_; }
 
+  // --- Batched hot-path support (net::LinkPump) -------------------------
+  //
+  // The link pump keys packet ops (transmission completions, deliveries)
+  // with the exact (time, seq) their dedicated scheduler events would have
+  // carried, parks ONE event at the earliest key, and on fire executes
+  // every consecutive op the scheduler would have run back to back anyway.
+  // These three hooks are what that requires: minting a sequence without
+  // scheduling, asking whether an op may ride the current event, and
+  // advancing the clock to an op's key mid-event.
+
+  // Mints the tie-break sequence the next schedule_at_for(entity) call
+  // would consume, without scheduling anything. An op keyed with it and
+  // executed at that key is indistinguishable from the event it replaces.
+  std::uint64_t mint_seq(std::uint32_t entity) {
+    return stamping_ ? make_stamp(entity) : next_seq_++;
+  }
+  // True when an op keyed (t, seq) would execute next if the current event
+  // returned: it precedes every pending live event and does not cross the
+  // active run limit (run_until deadline / run_until_before horizon) or a
+  // stop() request. Lazily pops cancelled entries at the queue front, like
+  // next_deadline().
+  bool would_fire_next(TimePoint t, std::uint64_t seq);
+  // Moves the clock and current-event sequence to a batched op's key while
+  // an event executes. Only legal when would_fire_next(t, seq) held for a
+  // key at or after the current position; fire() still resets the
+  // current-event sequence when the hosting event returns.
+  void advance_batched_op(TimePoint t, std::uint64_t seq) {
+    TCPPR_DCHECK(t >= now_);
+    now_ = t;
+    current_event_seq_ = seq;
+  }
+
   // Returns true if the event was pending and is now cancelled.
   bool cancel(EventId id);
   bool is_pending(EventId id) const;
@@ -256,8 +288,15 @@ class Scheduler {
   // Executes the event's callback in place and frees its slot.
   void fire(const QueuedEvent& event);
 
+  // Active run-loop bound, mirrored here so would_fire_next() can refuse
+  // ops the hosting loop would not reach: run() clears it, run_until(d) is
+  // inclusive at d, run_until_before(h) is exclusive at h.
+  enum class RunLimit : std::uint8_t { kNone, kInclusive, kExclusive };
+
   TimePoint now_;
   bool stopped_ = false;
+  RunLimit run_limit_ = RunLimit::kNone;
+  TimePoint run_limit_time_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   bool stamping_ = false;

@@ -51,18 +51,27 @@ double RenoSender::usable_window() const {
 }
 
 void RenoSender::send_new_data() {
-  while (static_cast<double>(flight_size()) + 1.0 <= usable_window() &&
-         source_has(snd_nxt_)) {
-    auto& info = tx_info_[snd_nxt_];
-    // After a go-back-N timeout, "new" sends below the old snd_nxt are
-    // really retransmissions; tx_count distinguishes them.
-    const bool rtx = info.tx_count > 0;
-    info.last_tx = now();
-    ++info.tx_count;
-    transmit_segment(snd_nxt_, rtx, next_tx_serial_++);
-    ++snd_nxt_;
-    if (!rto_timer_.armed()) restart_rto_timer();
+  // The timer cannot disarm while we only transmit, so the per-iteration
+  // "arm if unarmed" collapses to one check hoisted past the burst scope —
+  // the re-arm's scheduler op then follows the burst's, as one event.
+  const bool was_armed = rto_timer_.armed();
+  bool sent = false;
+  {
+    SenderBase::BurstScope burst(*this);
+    while (static_cast<double>(flight_size()) + 1.0 <= usable_window() &&
+           source_has(snd_nxt_)) {
+      auto& info = tx_info_[snd_nxt_];
+      // After a go-back-N timeout, "new" sends below the old snd_nxt are
+      // really retransmissions; tx_count distinguishes them.
+      const bool rtx = info.tx_count > 0;
+      info.last_tx = now();
+      ++info.tx_count;
+      transmit_segment(snd_nxt_, rtx, next_tx_serial_++);
+      ++snd_nxt_;
+      sent = true;
+    }
   }
+  if (sent && !was_armed) restart_rto_timer();
 }
 
 void RenoSender::retransmit(SeqNo seq) {

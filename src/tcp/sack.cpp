@@ -246,33 +246,41 @@ void SackSender::retransmit(SeqNo seq) {
 }
 
 void SackSender::send_more() {
-  const double window = std::min(cwnd_, config_.max_cwnd);
-  while (pipe() + 1.0 <= window) {
-    // NextSeg (RFC 3517): lost-and-not-yet-retransmitted first, then new.
-    std::optional<SeqNo> rtx;
-    for (const SeqNo s : lost_) {
-      if (!rtx_in_flight_.contains(s)) {
-        rtx = s;
+  // As in RenoSender::send_new_data: transmitting never disarms the
+  // timer, so the per-iteration "arm if unarmed" hoists past the burst.
+  const bool was_armed = rto_timer_.armed();
+  bool sent = false;
+  {
+    SenderBase::BurstScope burst(*this);
+    const double window = std::min(cwnd_, config_.max_cwnd);
+    while (pipe() + 1.0 <= window) {
+      // NextSeg (RFC 3517): lost-and-not-yet-retransmitted first, then new.
+      std::optional<SeqNo> rtx;
+      for (const SeqNo s : lost_) {
+        if (!rtx_in_flight_.contains(s)) {
+          rtx = s;
+          break;
+        }
+      }
+      if (rtx.has_value()) {
+        rtx_in_flight_.insert(*rtx);
+        retransmit(*rtx);
+      } else if (source_has(snd_nxt_)) {
+        auto& info = tx_info_[snd_nxt_];
+        const bool is_rtx = info.tx_count > 0;  // go-back-N resend
+        info.last_tx = now();
+        if (is_rtx && info.tx_count == 1) info.first_rtx = now();
+        ++info.tx_count;
+        if (is_rtx) recent_rtx_[snd_nxt_] = RtxRecord{now(), episode_dupacks_};
+        transmit_segment(snd_nxt_, is_rtx, next_tx_serial_++);
+        ++snd_nxt_;
+      } else {
         break;
       }
+      sent = true;
     }
-    if (rtx.has_value()) {
-      rtx_in_flight_.insert(*rtx);
-      retransmit(*rtx);
-    } else if (source_has(snd_nxt_)) {
-      auto& info = tx_info_[snd_nxt_];
-      const bool is_rtx = info.tx_count > 0;  // go-back-N resend
-      info.last_tx = now();
-      if (is_rtx && info.tx_count == 1) info.first_rtx = now();
-      ++info.tx_count;
-      if (is_rtx) recent_rtx_[snd_nxt_] = RtxRecord{now(), episode_dupacks_};
-      transmit_segment(snd_nxt_, is_rtx, next_tx_serial_++);
-      ++snd_nxt_;
-    } else {
-      break;
-    }
-    if (!rto_timer_.armed()) restart_rto_timer();
   }
+  if (sent && !was_armed) restart_rto_timer();
 }
 
 void SackSender::restart_rto_timer() {

@@ -72,7 +72,23 @@ void SenderBase::transmit_segment(SeqNo seq, bool is_retransmission,
   }
   TCPPR_LOG(LogLevel::kTrace, "tcp", "flow %d send seq %lld rtx=%d", flow_,
             static_cast<long long>(seq), is_retransmission ? 1 : 0);
+  if (burst_depth_ > 0) {
+    burst_.push(std::move(pkt));
+    return;
+  }
   network_.node(local_).originate(std::move(pkt));
+}
+
+void SenderBase::flush_burst() {
+  if (burst_.empty()) return;
+  if (burst_.size() == 1) {
+    net::Packet pkt = std::move(burst_[0]);
+    burst_.clear();
+    network_.node(local_).originate(std::move(pkt));
+    return;
+  }
+  net::PacketBatch burst = std::move(burst_);
+  network_.node(local_).originate_burst(std::move(burst));
 }
 
 void SenderBase::note_progress(SeqNo cum_ack) {

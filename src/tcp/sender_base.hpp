@@ -135,9 +135,32 @@ class SenderBase : public net::Agent {
   virtual void on_ack_packet(const net::Packet& ack) = 0;
 
   // Builds and transmits one data segment. tx_serial distinguishes
-  // (re)transmissions of the same seq.
+  // (re)transmissions of the same seq. Inside a BurstScope the segment is
+  // staged instead of originated immediately.
   void transmit_segment(SeqNo seq, bool is_retransmission,
                         std::uint32_t tx_serial);
+
+  // RAII send-burst: transmit_segment calls within the scope stage their
+  // segments, and scope exit hands the whole burst to the node as one
+  // originate_burst (one routing/admission sweep, and under the batched
+  // engine one coalesced delivery run downstream). Staging only defers the
+  // link hand-off past the later segments' construction — construction
+  // touches no shared state — so per-packet behavior is identical; scopes
+  // nest (the outermost flushes).
+  class BurstScope {
+   public:
+    explicit BurstScope(SenderBase& sender) : sender_(sender) {
+      ++sender_.burst_depth_;
+    }
+    ~BurstScope() {
+      if (--sender_.burst_depth_ == 0) sender_.flush_burst();
+    }
+    BurstScope(const BurstScope&) = delete;
+    BurstScope& operator=(const BurstScope&) = delete;
+
+   private:
+    SenderBase& sender_;
+  };
 
   bool source_has(SeqNo seq) const { return source_->has_segment(seq); }
   SeqNo source_total() const { return source_->total_segments(); }
@@ -163,8 +186,13 @@ class SenderBase : public net::Agent {
   obs::FlowProbe probe_;
 
  private:
+  friend class BurstScope;
+  void flush_burst();
+
   net::Network& network_;
   sim::Scheduler* sched_override_ = nullptr;  // parallel mode: LP shard
+  net::PacketBatch burst_;   // segments staged by the active BurstScope
+  int burst_depth_ = 0;
   net::NodeId local_;
   net::NodeId remote_;
   FlowId flow_;

@@ -67,6 +67,16 @@ class RingDeque {
     return value;
   }
 
+  // Destroys the front element without returning it. Pairs with front():
+  // move out of the reference, then drop — one move where pop_front's
+  // return would cost two for a large T.
+  void drop_front() {
+    TCPPR_DCHECK(size_ > 0);
+    slot(head_).~T();
+    head_ = index(head_ + 1);
+    --size_;
+  }
+
   void clear() {
     while (size_ > 0) {
       slot(head_).~T();

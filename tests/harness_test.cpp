@@ -154,7 +154,10 @@ TEST(RunScenario, MeasuresTrailingWindowOnly) {
     // Two flows on a 15 Mbps bottleneck: each well below the capacity.
     EXPECT_LT(flow.throughput_bps, 15e6);
   }
-  EXPECT_GT(result.events, 1000u);
+  // The batched engine coalesces the per-packet hot path into carrier
+  // events, so the count sits far below the per-packet total — but a 20 s
+  // two-flow run still fires a healthy number of them.
+  EXPECT_GT(result.events, 100u);
 }
 
 TEST(RunScenario, NormalizedMetricsConsistent) {

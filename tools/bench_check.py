@@ -10,6 +10,13 @@ Gated benchmarks — the engine cost centers this repo optimizes:
     BM_SchedulerCancel          lazy-cancellation path
     BM_DumbbellSimulation/*     end-to-end simulation throughput
     BM_ScaleFlowsParallel/*     parallel (multi-LP) harness throughput
+    BM_BatchDelivery/*          batched vs unbatched forwarding hot path
+    BM_ScaleFlowsDumbbell/*     many-flow dumbbell, batched + unbatched rows
+
+Beyond wall time, the batched hot path is gated on its own metrics (both
+sides of each ratio come from the same run, so no machine calibration is
+involved): every batched row must report events_per_packet < 1, and the
+4096-flow dumbbell must hold a >= 1.3x batched-over-unbatched speedup.
 
 Multi-threaded rows (lps > 1) are skipped when the runner has fewer cores
 than the row needs worker threads — on such a machine the threads
@@ -48,7 +55,18 @@ GATED_PATTERNS = [
     r"^BM_SchedulerCancel$",
     r"^BM_DumbbellSimulation(/|$)",
     r"^BM_ScaleFlowsParallel(/|$)",
+    r"^BM_BatchDelivery(/|$)",
+    r"^BM_ScaleFlowsDumbbell(/|$)",
 ]
+
+# Batched hot-path acceptance: every batched row must land below one
+# scheduler event per delivered packet, and the 4096-flow dumbbell must
+# beat its unbatched twin by at least this factor end to end.
+BATCHED_ROW_RE = re.compile(r"^BM_(BatchDelivery/1$|ScaleFlowsDumbbell/.*batch:1$)")
+BATCH_SPEEDUP_PAIR = ("BM_ScaleFlowsDumbbell/flows:4096/backend:0/batch:1",
+                      "BM_ScaleFlowsDumbbell/flows:4096/backend:0/batch:0")
+BATCH_MIN_SPEEDUP = 1.3
+EVENTS_PER_PACKET_MAX = 1.0
 
 # Parallel-harness rows encode their LP (worker thread) count in the name.
 LPS_RE = re.compile(r"/lps:(\d+)")
@@ -74,18 +92,33 @@ def runner_cpus():
         return os.cpu_count() or 1
 
 
+# google-benchmark's standard per-row fields; any other numeric key on a
+# raw-JSON row is a user counter (events_per_packet, lps, ...).
+STANDARD_ROW_FIELDS = {
+    "name", "run_name", "run_type", "family_index",
+    "per_family_instance_index", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "aggregate_name", "aggregate_unit", "items_per_second",
+    "bytes_per_second", "label", "error_occurred", "error_message",
+}
+
+
 def load_times(path):
-    """Returns ({name: real_time_ns}, {name: threads}) from either format."""
+    """Returns ({name: real_time_ns}, {name: threads}, {name: counters})
+    from either format."""
     with open(path) as f:
         raw = json.load(f)
     times = {}
     threads = {}
+    counters = {}
     if isinstance(raw.get("benchmarks"), dict):  # BENCH_engine.json report
         for name, row in raw["benchmarks"].items():
             if row.get("after_ns") is not None:
                 times[name] = float(row["after_ns"])
                 threads[name] = benchmark_threads(name, row)
-        return times, threads
+                if row.get("counters"):
+                    counters[name] = row["counters"]
+        return times, threads, counters
     for b in raw.get("benchmarks", []):  # raw google-benchmark JSON
         if b.get("error_occurred"):
             continue
@@ -94,7 +127,11 @@ def load_times(path):
         name = b.get("run_name", b["name"])
         times[name] = b["real_time"] * TIME_UNIT_NS[b["time_unit"]]
         threads[name] = benchmark_threads(name, b)
-    return times, threads
+        c = {k: v for k, v in b.items()
+             if k not in STANDARD_ROW_FIELDS and isinstance(v, (int, float))}
+        if c:
+            counters[name] = c
+    return times, threads, counters
 
 
 def machine_factor(current, baseline):
@@ -109,6 +146,42 @@ def machine_factor(current, baseline):
     # A wildly off factor means the calibration set itself changed; cap the
     # correction rather than let it launder a real regression.
     return min(max(factor, 0.25), 4.0), len(ratios)
+
+
+def check_batching(current, counters):
+    """Gates the batched hot path on its own metrics.
+
+    Both checks compare rows within the current run, so the machine-speed
+    factor plays no part. Returns a list of failure descriptions; prints
+    one line per check. Rows absent from the run (e.g. a --filter'd rerun)
+    are simply not checked — the wall-time MISSING logic already catches a
+    gated row that silently disappeared.
+    """
+    failures = []
+    for name in sorted(current):
+        if not BATCHED_ROW_RE.match(name):
+            continue
+        epp = counters.get(name, {}).get("events_per_packet")
+        if epp is None:
+            print(f"  MISSING  {name}: no events_per_packet counter")
+            failures.append(f"{name} (counter missing)")
+        elif epp >= EVENTS_PER_PACKET_MAX:
+            print(f"  FAILED   {name}: events_per_packet {epp:.3f} "
+                  f">= {EVENTS_PER_PACKET_MAX}")
+            failures.append(f"{name} (events_per_packet {epp:.3f})")
+        else:
+            print(f"  OK       {name}: events_per_packet {epp:.3f}")
+    batched_name, unbatched_name = BATCH_SPEEDUP_PAIR
+    if batched_name in current and unbatched_name in current:
+        speedup = current[unbatched_name] / current[batched_name]
+        if speedup < BATCH_MIN_SPEEDUP:
+            print(f"  FAILED   batched 4096-flow dumbbell speedup "
+                  f"{speedup:.2f}x < {BATCH_MIN_SPEEDUP}x")
+            failures.append(f"batch speedup {speedup:.2f}x")
+        else:
+            print(f"  OK       batched 4096-flow dumbbell speedup "
+                  f"{speedup:.2f}x (>= {BATCH_MIN_SPEEDUP}x)")
+    return failures
 
 
 def main():
@@ -127,8 +200,8 @@ def main():
         if not pathlib.Path(path).exists():
             sys.exit(f"error: {path} not found")
 
-    current, _ = load_times(args.current)
-    baseline, base_threads = load_times(args.baseline)
+    current, _, cur_counters = load_times(args.current)
+    baseline, base_threads, _ = load_times(args.baseline)
     if not current:
         sys.exit(f"error: no benchmark results in {args.current}")
 
@@ -168,12 +241,15 @@ def main():
               f"current {current[name] / 1e6:.3f} ms "
               f"(adjusted {adjusted / 1e6:.3f} ms, {change:+.1%})")
 
+    failures += check_batching(current, cur_counters)
+
     if checked == 0 and not failures:
         sys.exit("error: no gated benchmarks found in the baseline — "
                  "regenerate BENCH_engine.json with tools/bench_engine.py")
     if failures:
-        sys.exit(f"FAIL: {len(failures)} gated benchmark(s) regressed more "
-                 f"than {args.threshold:.0%}: {', '.join(failures)}")
+        sys.exit(f"FAIL: {len(failures)} gated check(s) failed "
+                 f"(regression threshold {args.threshold:.0%}): "
+                 f"{', '.join(failures)}")
     print(f"PASS: {checked} gated benchmark(s) within {args.threshold:.0%}"
           + (f" ({skipped} multi-threaded row(s) skipped)" if skipped else ""))
 

@@ -51,6 +51,7 @@ struct Args {
   std::string ts_out;
   double ts_interval_s = 0.1;
   bool validate = false;
+  bool no_batch = false;  // run the unbatched one-event-per-op engine
   int par = 0;  // 0 = sequential, >= 1 = parallel harness with N LPs
   int fuzz_count = 0;
   std::optional<std::uint64_t> fuzz_seed;
@@ -98,6 +99,10 @@ void usage() {
       "  --ts-interval <s>     queue sampling interval (default 0.1)\n"
       "  --validate            run under the invariant checker; nonzero\n"
       "                        exit and a report on any violation\n"
+      "  --no-batch            disable the batched hot path (one scheduler\n"
+      "                        event per packet op; byte-identical results,\n"
+      "                        the perf-comparison baseline). Also applies\n"
+      "                        to --fuzz-seed replays\n"
       "  --par <n>             run on n parallel scheduler shards (LPs);\n"
       "                        byte-identical to the sequential run. Also\n"
       "                        applies to --fuzz-seed replays\n"
@@ -155,6 +160,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.ts_interval_s = std::atof(next());
     } else if (flag == "--validate") {
       args.validate = true;
+    } else if (flag == "--no-batch") {
+      args.no_batch = true;
     } else if (flag == "--par") {
       args.par = std::atoi(next());
     } else if (flag == "--fuzz") {
@@ -262,6 +269,7 @@ int main(int argc, char** argv) {
     auto c = validate::sample_fuzz_case(*args.fuzz_seed);
     c.backend = *backend;
     c.par_lps = args.par;
+    c.batching = !args.no_batch;
     std::printf("fuzz seed %llu: %s\n",
                 static_cast<unsigned long long>(*args.fuzz_seed),
                 validate::describe(c).c_str());
@@ -288,7 +296,9 @@ int main(int argc, char** argv) {
     return failures == 0 ? 0 : 1;
   }
 
+  net::set_hot_path_batching(!args.no_batch);
   auto scenario = build(args, *backend);
+  net::set_hot_path_batching(true);
   if (!scenario) return 1;
 
   std::unique_ptr<trace::FileTrace> trace_file;
@@ -399,6 +409,43 @@ int main(int argc, char** argv) {
   std::printf("\nloss rate %.2f%%, %llu events processed\n",
               100.0 * result.loss_rate,
               static_cast<unsigned long long>(result.events));
+  // Engine aggregates: events per delivered packet (the batched hot path
+  // drives this below 1) plus the delivery-run length histogram.
+  const auto snap = scenario->network.conservation();
+  const double epp =
+      snap.delivered_to_agent > 0
+          ? static_cast<double>(result.events) /
+                static_cast<double>(snap.delivered_to_agent)
+          : 0.0;
+  std::printf("engine: %s, %.3f events/packet",
+              args.no_batch ? "unbatched" : "batched", epp);
+  net::LinkPump::Stats pump_stats{};
+  net::LinkPump::RunHistogram hist{};
+  if (psim) {
+    pump_stats = psim->pump_stats();
+    hist = psim->pump_histogram();
+  } else if (scenario->network.pump() != nullptr) {
+    pump_stats = scenario->network.pump()->stats();
+    hist = scenario->network.pump()->aggregate_histogram();
+  }
+  if (pump_stats.events > 0) {
+    std::printf(", %llu pump ops in %llu carrier events (%.2f ops/event)",
+                static_cast<unsigned long long>(pump_stats.ops),
+                static_cast<unsigned long long>(pump_stats.events),
+                static_cast<double>(pump_stats.ops) /
+                    static_cast<double>(pump_stats.events));
+  }
+  std::printf("\n");
+  if (pump_stats.delivery_runs > 0) {
+    std::printf("delivery runs: mean %.2f, len histogram [",
+                static_cast<double>(pump_stats.delivered_in_runs) /
+                    static_cast<double>(pump_stats.delivery_runs));
+    for (std::size_t i = 0; i < hist.size(); ++i) {
+      std::printf("%s%llu", i == 0 ? "" : " ",
+                  static_cast<unsigned long long>(hist[i]));
+    }
+    std::printf("] (log2 buckets: 1, 2-3, 4-7, ..., >=128)\n");
+  }
   if (result.flows.size() > 1) {
     std::printf("mean normalized: tcp-pr %.3f, sack %.3f; CoV %.3f / %.3f\n",
                 result.mean_normalized(TcpVariant::kTcpPr),
