@@ -24,6 +24,7 @@
 #include "net/link_pump.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "workload/workload.hpp"
 
 namespace {
 
@@ -161,6 +162,75 @@ void BM_ScaleFlowsParallel(benchmark::State& state) {
 BENCHMARK(BM_ScaleFlowsParallel)
     ->ArgNames({"flows", "lps"})
     ->ArgsProduct({{256, 1024, 4096}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+// Churn sweep: the dynamic flow lifecycle engine (src/workload) on a
+// dumbbell whose bandwidth scales with the arrival rate (constant
+// per-flow share), two simulated seconds per iteration. Flows arrive,
+// transfer 2-4 segments and genuinely depart — the steady-state cost is
+// dominated by lifecycle turnover (sender/receiver setup + teardown, slot
+// quarantine, idle-lease sweeps), not by any single flow's transfer.
+// Counters: wall-clock churn throughput (arrivals and scheduler events
+// per second, machine-dependent — gated against the baseline with the
+// machine-speed factor) and the steady-state slab footprint per live
+// flow-id slot (machine-independent — gated at a hard byte ceiling).
+void BM_ScaleFlowsChurn(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0));
+  std::uint64_t arrivals = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t events = 0;
+  std::size_t slab = 0;
+  std::size_t slots = 0;
+  for (auto _ : state) {
+    harness::DumbbellConfig cfg;
+    cfg.pr_flows = 0;
+    cfg.sack_flows = 0;
+    cfg.bottleneck_bw_bps = 40e6 * rate / 1000.0;
+    cfg.access_bw_bps = 4 * cfg.bottleneck_bw_bps;
+    cfg.bottleneck_queue = 500;
+    cfg.access_queue = 1000;
+    auto scenario = harness::make_dumbbell(cfg);
+    workload::WorkloadConfig wc;
+    wc.kind = workload::WorkloadKind::kPoisson;
+    wc.arrival_rate = rate;
+    wc.min_segments = 2;
+    wc.max_segments = 4;  // mice: offered load stays under the bottleneck
+    wc.quarantine = sim::Duration::millis(300);
+    wc.reap_idle = sim::Duration::millis(150);
+    wc.reap_sweep = sim::Duration::millis(50);
+    wc.max_concurrent = 8192;
+    wc.id_slots = 1 << 15;
+    workload::WorkloadEngine engine(*scenario, wc);
+    engine.start();
+    scenario->sched.run_until(sim::TimePoint::from_seconds(2));
+    const workload::WorkloadStats ws = engine.stats();
+    arrivals = ws.arrivals;
+    completed = ws.completed;
+    events = scenario->sched.processed_count();
+    slab = engine.slab_bytes();
+    slots = engine.slots_in_use();
+    benchmark::DoNotOptimize(arrivals);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(arrivals));
+  state.counters["arrivals_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(arrivals),
+      benchmark::Counter::kIsRate);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(events),
+      benchmark::Counter::kIsRate);
+  state.counters["completed_frac"] =
+      arrivals > 0
+          ? static_cast<double>(completed) / static_cast<double>(arrivals)
+          : 0.0;
+  state.counters["bytes_per_slot"] =
+      slots > 0 ? static_cast<double>(slab) / static_cast<double>(slots) : 0.0;
+}
+BENCHMARK(BM_ScaleFlowsChurn)
+    ->ArgNames({"rate"})
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

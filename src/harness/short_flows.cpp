@@ -67,9 +67,14 @@ void ShortFlowPool::spawn() {
     entry.sender->set_data_source(
         std::make_unique<tcp::FixedDataSource>(segments));
     entry.sender->set_completion_callback([this, flow] {
-      // Defer teardown: we are inside the sender's own ACK processing.
-      network_.scheduler().schedule_in(sim::Duration::zero(),
-                                       [this, flow] { finish(flow); });
+      // Defer teardown: we are inside the sender's own ACK processing. The
+      // sentinel keeps a pool destroyed before the event fires safe.
+      network_.scheduler().schedule_in(
+          sim::Duration::zero(),
+          [this, flow, alive = std::weak_ptr<int>(alive_)] {
+            if (alive.expired()) return;
+            finish(flow);
+          });
     });
     entry.started_at = network_.scheduler().now();
     entry.sender->start();

@@ -56,6 +56,13 @@ class ShortFlowPool {
   net::NodeId src_;
   net::NodeId dst_;
   Config config_;
+  // Liveness sentinel for the deferred per-flow teardown events: a
+  // completion callback schedules finish() through a zero-delay event, and
+  // a pool destroyed in that window must not have the scheduler fire into
+  // freed memory. The event captures a weak_ptr to this token and bails
+  // once it has expired (cheaper and simpler than tracking + cancelling
+  // every pending teardown id).
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
   sim::Rng rng_;
   sim::Timer arrival_timer_;
   bool running_ = false;

@@ -55,13 +55,22 @@ std::optional<NodeId> Node::next_hop(NodeId dst) const {
   return it->second.via;
 }
 
+void Node::warn_no_agent(FlowId flow) {
+  static constexpr std::uint32_t kMaxWarnings = 8;
+  if (no_agent_warnings_ >= kMaxWarnings) return;
+  ++no_agent_warnings_;
+  TCPPR_LOG_WARN("node", "node %d: no agent for flow %d%s", id_, flow,
+                 no_agent_warnings_ == kMaxWarnings
+                     ? " (suppressing further no-agent warnings)"
+                     : "");
+}
+
 void Node::receive(Packet&& pkt) {
   if (pkt.dst == id_) {
     Agent* agent = find_agent(pkt.tcp.flow);
     if (agent == nullptr) {
       ++stats_.unroutable;
-      TCPPR_LOG_WARN("node", "node %d: no agent for flow %d", id_,
-                     pkt.tcp.flow);
+      warn_no_agent(pkt.tcp.flow);
       return;
     }
     ++stats_.delivered_to_agent;
@@ -93,8 +102,7 @@ void Node::receive_batch(PacketBatch&& batch) {
     Agent* agent = find_agent(pkt.tcp.flow);
     if (agent == nullptr) {
       ++stats_.unroutable;
-      TCPPR_LOG_WARN("node", "node %d: no agent for flow %d", id_,
-                     pkt.tcp.flow);
+      warn_no_agent(pkt.tcp.flow);
       ++i;
       continue;
     }

@@ -69,6 +69,20 @@ class Node {
   void set_next_hop(NodeId dst, NodeId next_hop);
   void attach_agent(FlowId flow, Agent* agent);
   void detach_agent(FlowId flow);
+  // Fallback agent for flows with no per-flow registration: packets whose
+  // flow id misses the agent table deliver here instead of counting as
+  // unroutable. This is how the workload layer demultiplexes dynamically
+  // arriving flows — one server agent accepts the first segment of a flow
+  // that does not exist yet and creates its receiver on the spot (the
+  // creation then registers per-flow, so the fallback is off the hot path
+  // after the first packet). nullptr clears it. The fallback is never
+  // stored in the one-entry lookup cache: the cache must keep pointing at
+  // per-flow agents that register later under the same flow id.
+  void set_default_agent(Agent* agent) { default_agent_ = agent; }
+  Agent* default_agent() const { return default_agent_; }
+  // Registered per-flow agents (does not count the default agent). The
+  // lifecycle-leak tests assert this returns to baseline after churn.
+  std::size_t agent_count() const { return agents_.size(); }
   // Policy applies to packets originated here (not transit traffic).
   void set_source_routing_policy(SourceRoutingPolicy* policy) {
     routing_policy_ = policy;
@@ -124,18 +138,25 @@ class Node {
       return cached_agent_;
     }
     const auto it = agents_.find(flow);
-    if (it == agents_.end()) return nullptr;
+    if (it == agents_.end()) return default_agent_;
     cached_flow_ = flow;
     cached_agent_ = it->second;
     return cached_agent_;
   }
+  // Unroutable-delivery diagnostics are rate-limited per node: under a
+  // churning workload every departed flow's in-flight ACKs arrive with no
+  // agent (expected, they are counted and dropped), and a warning per
+  // packet would drown the log.
+  void warn_no_agent(FlowId flow);
 
   NodeId id_;
   std::unordered_map<NodeId, Link*> out_links_;     // by neighbor id
   std::unordered_map<NodeId, Hop> next_hop_table_;  // dst -> (neighbor, link)
   std::unordered_map<FlowId, Agent*> agents_;
+  Agent* default_agent_ = nullptr;
   FlowId cached_flow_ = kInvalidFlow;
   Agent* cached_agent_ = nullptr;
+  std::uint32_t no_agent_warnings_ = 0;
   std::unordered_map<NodeId, std::vector<NodeId>> ecmp_table_;
   SourceRoutingPolicy* routing_policy_ = nullptr;
   trace::Tracer* tracer_ = nullptr;

@@ -21,7 +21,11 @@ using SeqNo = std::int64_t;
 inline constexpr NodeId kInvalidNode = -1;
 inline constexpr FlowId kInvalidFlow = -1;
 
-enum class PacketType : std::uint8_t { kTcpData, kTcpAck, kCbr };
+// kTcpClose is the FIN analogue the flow lifecycle layer (src/workload)
+// sends after a transfer is fully acknowledged: it tells the receiver-side
+// demux that the flow departed so its state can be reclaimed. Transports
+// that never close (the paper's long-lived FTP flows) never see one.
+enum class PacketType : std::uint8_t { kTcpData, kTcpAck, kTcpClose, kCbr };
 
 // Half-open SACK block [begin, end) in packet-granularity sequence space.
 struct SackBlock {

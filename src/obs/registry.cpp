@@ -74,6 +74,7 @@ void MetricRegistry::set(sim::TimePoint t, MetricId metric, net::FlowId flow,
                          double value) {
   if (!active()) return;
   TCPPR_DCHECK(kind(metric) == MetricKind::kGauge);
+  if (aggregate_only_) flow = net::kInvalidFlow;
   values_[{metric, flow}] = value;
   emit(t, metric, flow, value);
 }
@@ -82,8 +83,17 @@ void MetricRegistry::add(sim::TimePoint t, MetricId metric, net::FlowId flow,
                          double delta) {
   if (!active()) return;
   TCPPR_DCHECK(kind(metric) == MetricKind::kCounter);
+  if (aggregate_only_) flow = net::kInvalidFlow;
   const double total = (values_[{metric, flow}] += delta);
   emit(t, metric, flow, total);
+}
+
+void MetricRegistry::retire_flow(net::FlowId flow) {
+  // One ordered-map range erase per metric id: the table is keyed
+  // (metric, flow), so a flow's entries are scattered one per metric.
+  for (MetricId m = 0; m < names_.size(); ++m) {
+    values_.erase({m, flow});
+  }
 }
 
 std::optional<double> MetricRegistry::last(MetricId metric,

@@ -66,6 +66,28 @@ class MetricRegistry {
   void add_sink(SeriesSink* sink);
   bool active() const { return !sinks_.empty(); }
 
+  // Aggregate-only mode: every emission's flow label collapses to
+  // kInvalidFlow before it is stored or fanned out. Counters keep summing
+  // correctly (the running total becomes the all-flows total); gauges
+  // become last-writer-wins. This is the churn-scale mode: the
+  // (metric, flow) value table stays O(metrics) instead of O(metrics x
+  // flows-ever-created), which is what makes observability affordable when
+  // flows arrive and depart by the thousands per second.
+  void set_aggregate_only(bool on) { aggregate_only_ = on; }
+  bool aggregate_only() const { return aggregate_only_; }
+
+  // Drops every stored (metric, flow) value for a departed flow. Without
+  // this the value table grows by one entry per metric per flow ever
+  // labeled — the per-flow leak a churning workload turns into unbounded
+  // memory. Call on flow teardown (the workload engine does); sinks that
+  // already wrote the flow's samples are unaffected.
+  void retire_flow(net::FlowId flow);
+
+  // Entries in the (metric, flow) value table — the regression surface for
+  // the churn leak: bounded by metrics x live flows when teardown retires
+  // flows, by metrics alone in aggregate-only mode.
+  std::size_t tracked_series() const { return values_.size(); }
+
   // Gauge: record the instantaneous value. No-op when no sink is attached.
   void set(sim::TimePoint t, MetricId metric, net::FlowId flow, double value);
   // Counter: add `delta` to the running total and record the new total.
@@ -87,6 +109,7 @@ class MetricRegistry {
   std::map<std::string, MetricId, std::less<>> by_name_;
   std::vector<SeriesSink*> sinks_;
   std::map<std::pair<MetricId, net::FlowId>, double> values_;
+  bool aggregate_only_ = false;
   std::uint64_t samples_ = 0;
   std::optional<FlowMetrics> flow_metrics_;
 };

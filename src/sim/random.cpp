@@ -68,6 +68,28 @@ double Rng::exponential(double mean) {
   return -mean * std::log(u);
 }
 
+double Rng::normal() {
+  // Box-Muller; u1 is kept away from 0 so the log stays finite.
+  double u1 = uniform();
+  while (u1 == 0.0) u1 = uniform();
+  const double u2 = uniform();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  TCPPR_DCHECK(sigma >= 0);
+  return std::exp(mu + sigma * normal());
+}
+
+double Rng::pareto(double shape, double scale) {
+  TCPPR_DCHECK(shape > 0);
+  TCPPR_DCHECK(scale > 0);
+  double u = uniform();
+  while (u == 0.0) u = uniform();  // keep the tail finite
+  return scale * std::pow(u, -1.0 / shape);
+}
+
 bool Rng::bernoulli(double p) { return uniform() < p; }
 
 int Rng::categorical(const double* weights, int n) {

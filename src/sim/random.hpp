@@ -27,6 +27,16 @@ class Rng {
   std::uint64_t uniform_int(std::uint64_t n);
   // Exponential with the given mean (> 0).
   double exponential(double mean);
+  // Standard normal via Box-Muller (two uniform draws per call; no cached
+  // spare, so the stream position is a pure function of the call count).
+  double normal();
+  // Log-normal: exp(mu + sigma * N(0,1)). The workload layer uses it for
+  // think times (heavy right tail, strictly positive).
+  double lognormal(double mu, double sigma);
+  // Pareto with the given shape (> 0) and scale (minimum value, > 0),
+  // sampled by inverse CDF. Heavy-tailed flow sizes; shape <= 2 gives the
+  // infinite-variance mice/elephants regime measured on real links.
+  double pareto(double shape, double scale);
   bool bernoulli(double p);
   // Samples an index from an unnormalized weight vector of size n.
   int categorical(const double* weights, int n);

@@ -41,6 +41,32 @@ void ReorderMonitor::on_arrival(net::SeqNo seq) {
   }
 }
 
+void ReorderMonitor::reset() {
+  total_ = 0;
+  reordered_ = 0;
+  max_seen_ = -1;
+  max_extent_ = 0;
+  extent_sum_ = 0;
+  std::fill(histogram_.begin(), histogram_.end(), 0);
+  next_expected_ = 0;
+  buffer_.clear();
+  max_buffer_ = 0;
+}
+
+void ReorderMonitor::merge_into(ReorderMonitor& agg) const {
+  agg.total_ += total_;
+  agg.reordered_ += reordered_;
+  agg.max_extent_ = std::max(agg.max_extent_, max_extent_);
+  agg.extent_sum_ += extent_sum_;
+  const std::size_t n = std::min(histogram_.size(), agg.histogram_.size());
+  for (std::size_t i = 0; i < n; ++i) agg.histogram_[i] += histogram_[i];
+  // Tail buckets beyond the aggregate's sizing land in its last bucket.
+  for (std::size_t i = n; i < histogram_.size(); ++i) {
+    agg.histogram_.back() += histogram_[i];
+  }
+  agg.max_buffer_ = std::max(agg.max_buffer_, max_buffer_);
+}
+
 double ReorderMonitor::reordered_fraction() const {
   if (total_ == 0) return 0;
   return static_cast<double>(reordered_) / static_cast<double>(total_);

@@ -19,6 +19,21 @@ class ReorderMonitor {
 
   void on_arrival(net::SeqNo seq);
 
+  // Returns the monitor to its freshly-constructed state (histogram sizing
+  // kept). Call on flow departure before the monitor observes a restarted
+  // flow or a recycled flow-id: without it the stale max_seen_ /
+  // next_expected_ high-water marks make every early segment of the new
+  // sequence space count as a massive reordering (the new flow starts at
+  // seq 0, below the old flow's maximum), corrupting fraction and extent.
+  void reset();
+
+  // Folds this monitor's counters into another (aggregate-only
+  // observability under churn: per-flow monitors fold into one engine-wide
+  // monitor at departure, so live stats stay O(1) in flows ever seen).
+  // Buffer-occupancy and extent maxima merge as maxima; the restoration
+  // buffer model itself is per-flow and does not transfer.
+  void merge_into(ReorderMonitor& agg) const;
+
   std::uint64_t total() const { return total_; }
   std::uint64_t reordered() const { return reordered_; }
   // Fraction of arrivals with seq below an already-seen higher seq.

@@ -31,6 +31,10 @@ void Receiver::set_metric_registry(obs::MetricRegistry& registry) {
 }
 
 void Receiver::deliver(net::Packet&& pkt) {
+  if (pkt.type == net::PacketType::kTcpClose) {
+    if (close_cb_) close_cb_();
+    return;
+  }
   if (pkt.type != net::PacketType::kTcpData) return;  // stray ACK etc.
   on_data(pkt);
 }

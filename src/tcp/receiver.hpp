@@ -15,6 +15,7 @@
 #include "obs/probe.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/types.hpp"
+#include "util/check.hpp"
 #include "util/hash.hpp"
 
 namespace tcppr::tcp {
@@ -52,6 +53,16 @@ class Receiver final : public net::Agent {
   FlowId flow() const { return flow_; }
   net::NodeId local_node() const { return local_; }
   SeqNo rcv_next() const { return rcv_next_; }
+  // Starts the cumulative-ACK point mid-stream. The workload layer uses
+  // this when it re-creates a receiver for a flow whose previous receiver
+  // was idle-reaped while the sender was still retrying: resuming at the
+  // reaped incarnation's high-water mark lets the retransmission be ACKed
+  // forward instead of stale-ACKed at zero forever. Only valid on a fresh
+  // receiver, before any segment has been delivered.
+  void resume_at(SeqNo next) {
+    TCPPR_DCHECK(rcv_next_ == 0 && above_.empty());
+    rcv_next_ = next;
+  }
 
   // Re-points the receiver (and its delayed-ACK timer) at the scheduler
   // shard owning its node. Parallel-mode adoption only; call before the
@@ -77,6 +88,14 @@ class Receiver final : public net::Agent {
   // Test-only mutation knob: perturb the running hash so the checker's
   // payload-checksum invariant trips (mutation self-test).
   void corrupt_delivered_hash_for_test() { delivered_hash_ ^= 1; }
+
+  // Invoked when a kTcpClose packet for this flow arrives (the workload
+  // layer's FIN analogue: the sender announces the transfer is complete and
+  // departed). The callback runs inside packet delivery, so it must not
+  // destroy the receiver synchronously — schedule a zero-delay teardown.
+  void set_close_callback(std::function<void()> cb) {
+    close_cb_ = std::move(cb);
+  }
 
   // Test hook: observe every ACK as it is emitted.
   void set_ack_tap(std::function<void(const net::Packet&)> tap) {
@@ -130,6 +149,7 @@ class Receiver final : public net::Agent {
   // Disabled until set_metric_registry; emissions cost one predictable
   // branch when observability is off (same discipline as SenderBase).
   obs::FlowProbe probe_;
+  std::function<void()> close_cb_;
   std::function<void(const net::Packet&)> ack_tap_;
   std::function<void(const net::Packet&)> data_tap_;
 };

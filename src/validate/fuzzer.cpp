@@ -17,6 +17,7 @@
 #include "util/check.hpp"
 #include "validate/determinism.hpp"
 #include "validate/invariants.hpp"
+#include "workload/workload.hpp"
 
 namespace tcppr::validate {
 
@@ -63,11 +64,16 @@ FuzzCase sample_fuzz_case(std::uint64_t seed) {
   const double eps_values[] = {0, 1, 4, 10, 500};
   c.epsilon = eps_values[rng.uniform_int(5)];
   c.graph_nodes = 4 + static_cast<int>(rng.uniform_int(5));
+  // Churn draws come last (see the header): the prefix of the stream is
+  // exactly what the pre-churn sampler consumed, so seeds keep producing
+  // the same topology/fault mix they always did.
+  c.churn_rate = rng.bernoulli(0.3) ? rng.uniform(100.0, 800.0) : 0.0;
+  c.churn_kind = static_cast<int>(rng.uniform_int(3));
   return c;
 }
 
 std::string describe(const FuzzCase& c) {
-  char buf[320];
+  char buf[384];
   std::string variants;
   for (const auto v : c.variants) {
     if (!variants.empty()) variants += ",";
@@ -78,16 +84,24 @@ std::string describe(const FuzzCase& c) {
                       : c.backend == sim::SchedulerBackend::kTimingWheel
                           ? "wheel"
                           : "heap";
+  const char* churn_kinds[] = {"poisson", "web", "onoff"};
+  char churn[48];
+  if (c.churn_rate > 0) {
+    std::snprintf(churn, sizeof(churn), "%s@%.0f/s",
+                  churn_kinds[c.churn_kind % 3], c.churn_rate);
+  } else {
+    std::snprintf(churn, sizeof(churn), "off");
+  }
   std::snprintf(
       buf, sizeof(buf),
       "topology=%s flows=%d variants=[%s] dur=%.2fs cross=%d loss=%.4f "
       "jitter=%.1fms flap=%d(up=%.2fs,down=%.2fs) reconf=%d eps=%g nodes=%d "
       "batch=%d "
-      "queue=%s par=%d",
+      "queue=%s par=%d churn=%s",
       to_string(c.topology), c.flows, variants.c_str(), c.duration_s,
       c.cross_traffic ? 1 : 0, c.loss_rate, c.jitter_ms, c.flap ? 1 : 0,
       c.flap_mean_up_s, c.flap_mean_down_s, c.reconfigure_mid_run ? 1 : 0,
-      c.epsilon, c.graph_nodes, c.batching ? 1 : 0, queue, c.par_lps);
+      c.epsilon, c.graph_nodes, c.batching ? 1 : 0, queue, c.par_lps, churn);
   return buf;
 }
 
@@ -273,6 +287,33 @@ FuzzResult run_fuzz_case(const FuzzCase& c) {
     flapper->start();
   }
 
+  // Background churn: a small workload engine sprays short dynamic
+  // transfers between the scenario's src/dst hosts alongside the measured
+  // flows — dynamic sender/receiver lifecycles, slot quarantine and idle
+  // reaping now run under the checker and the delivery-hash oracle. Like
+  // the flapper it is created after the ParallelSim so its arrival and
+  // teardown events land on the shards owning the hosts, and (borrowing
+  // both) it is destroyed before them.
+  std::unique_ptr<workload::WorkloadEngine> engine;
+  if (c.churn_rate > 0) {
+    workload::WorkloadConfig wc;
+    const workload::WorkloadKind kinds[] = {workload::WorkloadKind::kPoisson,
+                                            workload::WorkloadKind::kWeb,
+                                            workload::WorkloadKind::kOnOff};
+    wc.kind = kinds[c.churn_kind % 3];
+    wc.arrival_rate = c.churn_rate;
+    wc.onoff_sources = 16;
+    wc.max_segments = 64;  // short transfers: real churn inside duration_s
+    wc.max_concurrent = 64;
+    wc.id_slots = 256;
+    wc.quarantine = sim::Duration::seconds(1);
+    wc.reap_idle = sim::Duration::millis(400);
+    wc.reap_sweep = sim::Duration::millis(100);
+    wc.seed = c.seed ^ 0xC4u;
+    engine = std::make_unique<workload::WorkloadEngine>(s, wc, psim.get());
+    engine->start();
+  }
+
   const auto end = sim::TimePoint::from_seconds(c.duration_s);
   if (psim != nullptr) {
     psim->run_until(end);
@@ -280,6 +321,7 @@ FuzzResult run_fuzz_case(const FuzzCase& c) {
     checker.start();
     s.sched.run_until(end);
   }
+  if (engine) engine->stop();
   if (flapper) flapper->stop();
   checker.finalize();
 
@@ -309,6 +351,11 @@ FuzzCase minimize_fuzz_case(const FuzzCase& failing, int max_runs) {
   while (changed && runs < max_runs) {
     changed = false;
     FuzzCase t = best;
+    if (best.churn_rate > 0) {
+      t.churn_rate = 0;
+      if (still_fails(t)) { best = t; changed = true; continue; }
+    }
+    t = best;
     if (best.reconfigure_mid_run) {
       t.reconfigure_mid_run = false;
       if (still_fails(t)) { best = t; changed = true; continue; }
@@ -355,7 +402,7 @@ FuzzCase minimize_fuzz_case(const FuzzCase& failing, int max_runs) {
 
 int run_fuzz_campaign(std::uint64_t first_seed, int count, int jobs,
                       bool quiet, const std::string& artifact_dir,
-                      sim::SchedulerBackend backend) {
+                      sim::SchedulerBackend backend, int par_lps) {
   struct CellResult {
     bool ok = true;
     std::string failure;
@@ -365,6 +412,7 @@ int run_fuzz_campaign(std::uint64_t first_seed, int count, int jobs,
     const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
     FuzzCase c = sample_fuzz_case(seed);
     c.backend = backend;
+    c.par_lps = par_lps;
     const FuzzResult r = run_fuzz_case(c);
     if (!r.ok) {
       results[static_cast<std::size_t>(i)].ok = false;
@@ -380,6 +428,7 @@ int run_fuzz_campaign(std::uint64_t first_seed, int count, int jobs,
     const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
     FuzzCase c = sample_fuzz_case(seed);
     c.backend = backend;
+    c.par_lps = par_lps;
     std::fprintf(stderr, "FUZZ FAIL: tcppr_sim --fuzz-seed %llu  # %s\n",
                  static_cast<unsigned long long>(seed), describe(c).c_str());
     std::fprintf(stderr, "  first violation: %s\n",

@@ -41,6 +41,15 @@ struct FuzzCase {
   // Topology knobs.
   double epsilon = 0;   // multipath randomization (paper sweep values)
   int graph_nodes = 6;  // random graph only (ring + chords)
+  // Background flow churn: a small WorkloadEngine (src/workload) spraying
+  // short dynamic transfers between the scenario's src/dst hosts while the
+  // measured flows run. 0 = disabled. Sampled AFTER every other knob so
+  // adding the dimension did not re-shuffle the cases seeds 1..N produced
+  // before it existed. churn_kind indexes workload::WorkloadKind
+  // (0=poisson, 1=web, 2=onoff; kept as int so this header does not pull
+  // in the workload layer).
+  double churn_rate = 0;  // mean dynamic-flow arrivals per second
+  int churn_kind = 0;
   // Scheduler backend the scenario runs on. Never sampled (every backend
   // must produce identical trajectories, so sampling it would add nothing);
   // set explicitly by the backend-equivalence tests and --queue.
@@ -98,10 +107,12 @@ FuzzCase minimize_fuzz_case(const FuzzCase& failing, int max_runs = 40);
 // command, the sampled config, the first violation, and (unless quiet)
 // the minimized config. CI uploads the directory so a red fuzz job
 // carries its own repro.
-// Every sampled case runs on `backend` (the sampler itself never varies it).
+// Every sampled case runs on `backend` and `par_lps` logical processes
+// (the sampler itself never varies either — see the FuzzCase fields).
 int run_fuzz_campaign(
     std::uint64_t first_seed, int count, int jobs, bool quiet = false,
     const std::string& artifact_dir = "",
-    sim::SchedulerBackend backend = sim::SchedulerBackend::kBinaryHeap);
+    sim::SchedulerBackend backend = sim::SchedulerBackend::kBinaryHeap,
+    int par_lps = 0);
 
 }  // namespace tcppr::validate

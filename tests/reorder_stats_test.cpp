@@ -65,6 +65,62 @@ TEST(ReorderMonitor, DuplicatesDoNotGrowBuffer) {
   EXPECT_EQ(m.reordered(), 2u);  // duplicates count as reordered arrivals
 }
 
+TEST(ReorderMonitor, ResetClearsStateForRecycledFlowId) {
+  // The churn bug this guards: a monitor kept across flow departure (or a
+  // pooled monitor reattached to a recycled flow id) still carries the old
+  // flow's max_seen_ high-water mark. The new flow restarts at seq 0 —
+  // below that mark — so without reset() every early segment would count
+  // as a huge reordering.
+  ReorderMonitor m;
+  for (net::SeqNo s = 0; s < 1000; ++s) m.on_arrival(s);  // clean old flow
+  EXPECT_EQ(m.reordered(), 0u);
+
+  // Restarted / recycled flow without reset: in-order arrivals misread as
+  // massive reordering (this is the miscount, shown, not asserted as API).
+  ReorderMonitor stale = m;
+  stale.on_arrival(0);
+  stale.on_arrival(1);
+  EXPECT_EQ(stale.reordered(), 2u);  // both misclassified
+  EXPECT_GE(stale.max_extent(), 900);
+
+  m.reset();
+  for (net::SeqNo s = 0; s < 100; ++s) m.on_arrival(s);
+  EXPECT_EQ(m.total(), 100u);
+  EXPECT_EQ(m.reordered(), 0u);
+  EXPECT_EQ(m.max_extent(), 0);
+  EXPECT_EQ(m.max_buffer_occupancy(), 0u);
+}
+
+TEST(ReorderMonitor, MergeIntoSumsCountersAndMaxesMaxima) {
+  ReorderMonitor a;
+  a.on_arrival(0);
+  a.on_arrival(2);
+  a.on_arrival(1);  // 3 arrivals, 1 reordered, extent 1
+  ReorderMonitor b;
+  b.on_arrival(5);
+  b.on_arrival(0);  // 2 arrivals, 1 reordered, extent 5
+  ReorderMonitor agg;
+  a.merge_into(agg);
+  b.merge_into(agg);
+  EXPECT_EQ(agg.total(), 5u);
+  EXPECT_EQ(agg.reordered(), 2u);
+  EXPECT_EQ(agg.max_extent(), 5);
+  EXPECT_DOUBLE_EQ(agg.mean_extent(), 3.0);
+  EXPECT_EQ(agg.extent_histogram()[1], 1u);
+  EXPECT_EQ(agg.extent_histogram()[5], 1u);
+  EXPECT_EQ(agg.max_buffer_occupancy(), 1u);
+}
+
+TEST(ReorderMonitor, MergeFoldsOversizedExtentsIntoTailBucket) {
+  ReorderMonitor fine;  // 64 buckets
+  fine.on_arrival(40);
+  fine.on_arrival(0);  // extent 40
+  ReorderMonitor coarse(8);
+  fine.merge_into(coarse);
+  EXPECT_EQ(coarse.extent_histogram().back(), 1u);
+  EXPECT_EQ(coarse.total(), 2u);
+}
+
 TEST(ReorderMonitor, WiredToReceiverTapOnMultipath) {
   harness::MultipathConfig config;
   config.variant = harness::TcpVariant::kTcpPr;

@@ -4,6 +4,7 @@
 
 #include "harness/short_flows.hpp"
 #include "test_util.hpp"
+#include "trace/trace.hpp"
 
 namespace tcppr::harness {
 namespace {
@@ -78,6 +79,52 @@ TEST(ShortFlows, ReorderingInflatesSackMiceButNotPrMice) {
   const double pr = mean_fct(TcpVariant::kTcpPr);
   const double sack = mean_fct(TcpVariant::kSack);
   EXPECT_LT(pr, sack);
+}
+
+// Stops the scheduler on the delivery event that completes a transfer:
+// the sender's completion callback runs inside that same event and
+// schedules its zero-delay finish, so when run_until returns the finish
+// is still queued — the exact window the teardown bug lived in.
+class StopOnFinalAck final : public trace::TraceSink {
+ public:
+  StopOnFinalAck(sim::Scheduler& sched, net::SeqNo total)
+      : sched_(sched), total_(total) {}
+  void record(const trace::Record& r) override {
+    if (r.type == trace::EventType::kDeliver && r.is_ack &&
+        r.seq >= total_) {
+      triggered_ = true;
+      sched_.stop();
+    }
+  }
+  bool triggered() const { return triggered_; }
+
+ private:
+  sim::Scheduler& sched_;
+  net::SeqNo total_;
+  bool triggered_ = false;
+};
+
+TEST(ShortFlows, DestroyingPoolWithDeferredTeardownPendingIsSafe) {
+  // Regression: flow completion defers its per-flow teardown through a
+  // zero-delay scheduler event that used to capture the raw pool pointer.
+  // A pool destroyed while that event is queued had the scheduler fire
+  // into freed memory; the liveness sentinel makes the event a no-op.
+  testutil::PathFixture f;
+  StopOnFinalAck stopper(f.sched, 5);
+  f.network->add_trace_sink(&stopper);
+  {
+    ShortFlowPool::Config config;
+    config.mean_interarrival_s = 0.05;
+    config.min_segments = 5;  // fixed size: ack == 5 completes any flow
+    config.max_segments = 5;
+    ShortFlowPool pool(*f.network, f.src, f.dst, config);
+    pool.start();
+    f.run_for(30);  // returns early, at the first completion
+    ASSERT_TRUE(stopper.triggered());
+    EXPECT_EQ(pool.flows_completed(), 0u);  // finish still queued
+  }
+  // The stranded finish event fires against the destroyed pool.
+  f.run_for(1);
 }
 
 TEST(ShortFlows, BackgroundMiceCoexistWithBulkFlow) {

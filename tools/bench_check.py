@@ -12,6 +12,13 @@ Gated benchmarks — the engine cost centers this repo optimizes:
     BM_ScaleFlowsParallel/*     parallel (multi-LP) harness throughput
     BM_BatchDelivery/*          batched vs unbatched forwarding hot path
     BM_ScaleFlowsDumbbell/*     many-flow dumbbell, batched + unbatched rows
+    BM_ScaleFlowsChurn/*        dynamic flow lifecycle churn sweep
+
+Churn rows carry their own machine-independent gates: bytes_per_slot must
+stay inside the per-slot slab budget (128 = 2x the asserted 64-byte
+budget, the factor covering vector capacity growth), and completed_frac
+>= 0.9 proves the workload reached steady state instead of accumulating
+flows.
 
 Beyond wall time, the batched hot path is gated on its own metrics (both
 sides of each ratio come from the same run, so no machine calibration is
@@ -57,6 +64,7 @@ GATED_PATTERNS = [
     r"^BM_ScaleFlowsParallel(/|$)",
     r"^BM_BatchDelivery(/|$)",
     r"^BM_ScaleFlowsDumbbell(/|$)",
+    r"^BM_ScaleFlowsChurn(/|$)",
 ]
 
 # Batched hot-path acceptance: every batched row must land below one
@@ -67,6 +75,15 @@ BATCH_SPEEDUP_PAIR = ("BM_ScaleFlowsDumbbell/flows:4096/backend:0/batch:1",
                       "BM_ScaleFlowsDumbbell/flows:4096/backend:0/batch:0")
 BATCH_MIN_SPEEDUP = 1.3
 EVENTS_PER_PACKET_MAX = 1.0
+
+# Churn rows (dynamic flow lifecycle engine): the steady-state slab
+# footprint per live flow-id slot is machine-independent and must stay
+# inside the asserted 64-byte-per-slot budget (x2 for vector capacity
+# growth), and the run must actually churn — most arrivals complete
+# within the simulated window.
+CHURN_ROW_RE = re.compile(r"^BM_ScaleFlowsChurn(/|$)")
+CHURN_BYTES_PER_SLOT_MAX = 128.0
+CHURN_MIN_COMPLETED_FRAC = 0.9
 
 # Parallel-harness rows encode their LP (worker thread) count in the name.
 LPS_RE = re.compile(r"/lps:(\d+)")
@@ -184,6 +201,40 @@ def check_batching(current, counters):
     return failures
 
 
+def check_churn(current, counters):
+    """Gates the churn rows on their machine-independent counters.
+
+    Wall time (arrivals/sec) is handled by the calibrated gate above; this
+    checks the per-slot memory budget and that the workload actually
+    reached steady state (flows complete, not just accumulate). Returns a
+    list of failure descriptions; prints one line per row.
+    """
+    failures = []
+    for name in sorted(current):
+        if not CHURN_ROW_RE.match(name):
+            continue
+        row = counters.get(name, {})
+        bps = row.get("bytes_per_slot")
+        frac = row.get("completed_frac")
+        if bps is None or frac is None:
+            print(f"  MISSING  {name}: no bytes_per_slot/completed_frac "
+                  f"counters")
+            failures.append(f"{name} (counters missing)")
+            continue
+        if bps > CHURN_BYTES_PER_SLOT_MAX:
+            print(f"  FAILED   {name}: bytes_per_slot {bps:.1f} "
+                  f"> {CHURN_BYTES_PER_SLOT_MAX}")
+            failures.append(f"{name} (bytes_per_slot {bps:.1f})")
+        elif frac < CHURN_MIN_COMPLETED_FRAC:
+            print(f"  FAILED   {name}: completed_frac {frac:.3f} "
+                  f"< {CHURN_MIN_COMPLETED_FRAC}")
+            failures.append(f"{name} (completed_frac {frac:.3f})")
+        else:
+            print(f"  OK       {name}: bytes_per_slot {bps:.1f}, "
+                  f"completed_frac {frac:.3f}")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", required=True,
@@ -242,6 +293,7 @@ def main():
               f"(adjusted {adjusted / 1e6:.3f} ms, {change:+.1%})")
 
     failures += check_batching(current, cur_counters)
+    failures += check_churn(current, cur_counters)
 
     if checked == 0 and not failures:
         sys.exit("error: no gated benchmarks found in the baseline — "

@@ -25,6 +25,7 @@
 #include "trace/trace.hpp"
 #include "validate/fuzzer.hpp"
 #include "validate/invariants.hpp"
+#include "workload/workload.hpp"
 
 namespace {
 
@@ -51,6 +52,8 @@ struct Args {
   std::string ts_out;
   double ts_interval_s = 0.1;
   bool validate = false;
+  std::string workload;       // "", poisson, web, onoff
+  double arrival_rate = 100;  // dynamic-flow arrivals per second
   bool no_batch = false;  // run the unbatched one-event-per-op engine
   int par = 0;  // 0 = sequential, >= 1 = parallel harness with N LPs
   int fuzz_count = 0;
@@ -70,6 +73,13 @@ std::optional<TcpVariant> parse_variant(const std::string& name) {
   for (const TcpVariant v : harness::all_variants()) {
     if (name == to_string(v)) return v;
   }
+  return std::nullopt;
+}
+
+std::optional<workload::WorkloadKind> parse_workload(const std::string& name) {
+  if (name == "poisson") return workload::WorkloadKind::kPoisson;
+  if (name == "web") return workload::WorkloadKind::kWeb;
+  if (name == "onoff") return workload::WorkloadKind::kOnOff;
   return std::nullopt;
 }
 
@@ -99,13 +109,18 @@ void usage() {
       "  --ts-interval <s>     queue sampling interval (default 0.1)\n"
       "  --validate            run under the invariant checker; nonzero\n"
       "                        exit and a report on any violation\n"
+      "  --workload poisson|web|onoff  overlay dynamic flow churn between\n"
+      "                        the scenario's src/dst hosts: flows arrive,\n"
+      "                        transfer and depart (src/workload engine)\n"
+      "  --arrival-rate <r>    workload mean arrivals per second\n"
+      "                        (default 100; on/off kind ignores it)\n"
       "  --no-batch            disable the batched hot path (one scheduler\n"
       "                        event per packet op; byte-identical results,\n"
       "                        the perf-comparison baseline). Also applies\n"
       "                        to --fuzz-seed replays\n"
       "  --par <n>             run on n parallel scheduler shards (LPs);\n"
       "                        byte-identical to the sequential run. Also\n"
-      "                        applies to --fuzz-seed replays\n"
+      "                        applies to --fuzz and --fuzz-seed runs\n"
       "  --fuzz <n>            fuzz campaign over seeds [--seed, --seed+n)\n"
       "  --fuzz-seed <n>       replay one fuzz case under the checker\n"
       "  --fuzz-artifacts <dir>  write per-seed reproducer files for\n"
@@ -160,6 +175,10 @@ bool parse(int argc, char** argv, Args& args) {
       args.ts_interval_s = std::atof(next());
     } else if (flag == "--validate") {
       args.validate = true;
+    } else if (flag == "--workload") {
+      args.workload = next();
+    } else if (flag == "--arrival-rate") {
+      args.arrival_rate = std::atof(next());
     } else if (flag == "--no-batch") {
       args.no_batch = true;
     } else if (flag == "--par") {
@@ -290,7 +309,7 @@ int main(int argc, char** argv) {
   if (args.fuzz_count > 0) {
     const int failures = validate::run_fuzz_campaign(
         args.seed, args.fuzz_count, args.jobs, /*quiet=*/false,
-        args.fuzz_artifacts, *backend);
+        args.fuzz_artifacts, *backend, args.par);
     std::printf("fuzz: %d/%d seeds clean\n", args.fuzz_count - failures,
                 args.fuzz_count);
     return failures == 0 ? 0 : 1;
@@ -352,10 +371,36 @@ int main(int argc, char** argv) {
     checker->start();
   }
 
+  // Dynamic-churn overlay: created after the ParallelSim (like the
+  // fuzzer's) so arrival/teardown events land on the shards owning the
+  // src/dst hosts; destroyed before psim and the scenario (declaration
+  // order below ensures it).
+  std::unique_ptr<workload::WorkloadEngine> engine;
+  if (!args.workload.empty()) {
+    const auto kind = parse_workload(args.workload);
+    if (!kind) {
+      std::fprintf(stderr, "unknown workload %s (poisson|web|onoff)\n",
+                   args.workload.c_str());
+      return 1;
+    }
+    workload::WorkloadConfig wc;
+    wc.kind = *kind;
+    wc.arrival_rate = args.arrival_rate;
+    wc.seed = args.seed ^ 0xC4u;
+    engine = std::make_unique<workload::WorkloadEngine>(*scenario, wc,
+                                                        psim.get());
+    if (series_sink && !psim) {
+      registry.set_aggregate_only(true);  // churn scale: no per-flow labels
+      engine->set_metric_registry(registry);
+    }
+    engine->start();
+  }
+
   harness::MeasurementWindow window;
   window.total = sim::Duration::seconds(args.duration_s);
   window.measured = sim::Duration::seconds(args.measured_s);
   const auto result = run_scenario(*scenario, window, psim.get());
+  if (engine) engine->stop();
   if (checker) checker->finalize();
 
   std::printf("topology=%s queue=%s duration=%.0fs measured=%.0fs seed=%llu\n",
@@ -445,6 +490,33 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(hist[i]));
     }
     std::printf("] (log2 buckets: 1, 2-3, 4-7, ..., >=128)\n");
+  }
+  if (engine) {
+    const auto ws = engine->stats();
+    std::printf(
+        "workload: %s at %g/s — arrivals=%llu completed=%llu rejected=%llu "
+        "active=%zu peak=%zu\n",
+        args.workload.c_str(), args.arrival_rate,
+        static_cast<unsigned long long>(ws.arrivals),
+        static_cast<unsigned long long>(ws.completed),
+        static_cast<unsigned long long>(ws.rejected), ws.active,
+        ws.peak_active);
+    std::printf(
+        "  receivers: created=%llu closed=%llu reaped=%llu resumed=%llu "
+        "stray=%llu live=%zu\n",
+        static_cast<unsigned long long>(ws.receivers_created),
+        static_cast<unsigned long long>(ws.receivers_closed),
+        static_cast<unsigned long long>(ws.receivers_reaped),
+        static_cast<unsigned long long>(ws.receivers_resumed),
+        static_cast<unsigned long long>(ws.stray_packets),
+        engine->live_receivers());
+    const auto rs = engine->reorder_stats();
+    std::printf(
+        "  mean completion %.3fs, slab %zu bytes over %zu slots, "
+        "reordered %.2f%% of %llu arrivals\n",
+        ws.mean_completion_s(), engine->slab_bytes(), engine->slots_in_use(),
+        100.0 * rs.reordered_fraction(),
+        static_cast<unsigned long long>(rs.total()));
   }
   if (result.flows.size() > 1) {
     std::printf("mean normalized: tcp-pr %.3f, sack %.3f; CoV %.3f / %.3f\n",
