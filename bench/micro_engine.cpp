@@ -4,12 +4,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <memory>
 
 #include "core/tcp_pr.hpp"
 #include "harness/experiment.hpp"
 #include "net/network.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -181,6 +183,62 @@ void BM_BatchDelivery(benchmark::State& state) {
                 : 0.0;
 }
 BENCHMARK(BM_BatchDelivery)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// The forwarding burst of BM_PacketForwardLoop with reordering telemetry:
+// Arg 0 = taps compiled in but not attached (the one-branch-when-off cost
+// every deployment pays), 1 = a ReorderTap attached to every link (the
+// in-order sketch update per delivery). Paired with BM_PacketForwardLoop
+// by tools/bench_check.py: /0 must track the untapped loop and /1 must
+// stay within a small constant factor of /0.
+void BM_TelemetryTap(benchmark::State& state) {
+  struct Sink : net::Agent {
+    std::uint64_t received = 0;
+    void deliver(net::Packet&&) override { ++received; }
+  };
+  const bool tapped = state.range(0) != 0;
+  constexpr int kPackets = 10000;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network net(sched);
+    const net::NodeId a = net.add_node();
+    const net::NodeId b = net.add_node();
+    const net::NodeId c = net.add_node();
+    const net::NodeId d = net.add_node();
+    net::LinkConfig cfg;
+    cfg.bandwidth_bps = 1e9;
+    cfg.delay = sim::Duration::micros(10);
+    cfg.queue_limit_packets = kPackets + 1;
+    net.add_link(a, b, cfg);
+    net.add_link(b, c, cfg);
+    net.add_link(c, d, cfg);
+    net.compute_static_routes();
+    std::unique_ptr<telemetry::Telemetry> taps;
+    if (tapped) {
+      taps = std::make_unique<telemetry::Telemetry>(net,
+                                                    telemetry::TelemetryConfig{});
+    }
+    Sink sink;
+    net.node(d).attach_agent(/*flow=*/1, &sink);
+    for (int i = 0; i < kPackets; ++i) {
+      net::Packet pkt;
+      pkt.uid = net.allocate_uid();
+      pkt.src = a;
+      pkt.dst = d;
+      pkt.size_bytes = 1000;
+      pkt.type = net::PacketType::kTcpData;
+      pkt.tcp.flow = 1;
+      pkt.tcp.seq = i;
+      net.node(a).originate(std::move(pkt));
+    }
+    sched.run();
+    if (taps != nullptr) {
+      benchmark::DoNotOptimize(taps->aggregate().data_packets);
+    }
+    benchmark::DoNotOptimize(sink.received);
+  }
+  state.SetItemsProcessed(state.iterations() * kPackets * 3);
+}
+BENCHMARK(BM_TelemetryTap)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_RngUniform(benchmark::State& state) {
   sim::Rng rng(1);

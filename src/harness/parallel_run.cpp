@@ -212,14 +212,15 @@ std::uint64_t ParallelSim::exchange() {
     pool->alloc_n(buf.size(), ref_scratch_.data());
     std::size_t ri = 0;
     for (net::CrossLinkMsg& msg : buf) {
-      // {channel, node, pooled packet} is 48 bytes: the injected event
-      // stays inside the scheduler's inline callback buffer.
+      // {link, pooled packet} is 40 bytes: the injected event stays inside
+      // the scheduler's inline callback buffer. Routing through the link
+      // keeps delivery observation (telemetry taps) at one layer for every
+      // engine mode.
       dst.schedule_at_stamped(
           msg.at, msg.stamp,
-          [ch = &mb.channel, node = mb.dst_node,
+          [link = mb.link,
            p = pool->adopt(ref_scratch_[ri++], std::move(msg.pkt))]() mutable {
-            ++ch->executed;
-            node->receive(std::move(*p));
+            link->deliver_injected(std::move(p));
           });
       ++injected;
     }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "net/node.hpp"
+#include "telemetry/reorder_tap.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -225,9 +226,18 @@ void Link::deliver_one(PooledPacket p) {
   ++stats_.delivered;
   stats_.bytes_delivered += p->size_bytes;
   if (!skip_transit_decrement_) --in_transit_;
+  if (tap_ != nullptr) tap_->on_deliver(*p);
   TCPPR_DCHECK(dst_node_ != nullptr);
   dst_node_->receive(std::move(*p));
   // p's release into the pool recycles the packet for the next hop.
+}
+
+void Link::deliver_injected(PooledPacket p) {
+  TCPPR_DCHECK(remote_ != nullptr);
+  ++remote_->executed;
+  if (tap_ != nullptr) tap_->on_deliver(*p);
+  TCPPR_DCHECK(dst_node_ != nullptr);
+  dst_node_->receive(std::move(*p));
 }
 
 void Link::insert_delivery(sim::TimePoint at, std::uint64_t seq,
@@ -275,6 +285,7 @@ void Link::pump_run_deliveries() {
     ++stats_.delivered;
     stats_.bytes_delivered += e.pkt->size_bytes;
     if (!skip_transit_decrement_) --in_transit_;
+    if (tap_ != nullptr) tap_->on_deliver(*e.pkt);
     b.push(std::move(*e.pkt), e.seq);
     // The pooled shell releases here; the packet payload rides the batch.
   };

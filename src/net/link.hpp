@@ -25,6 +25,10 @@ namespace tcppr::trace {
 class Tracer;
 }
 
+namespace tcppr::telemetry {
+class ReorderTap;
+}
+
 namespace tcppr::net {
 
 class Node;
@@ -67,6 +71,11 @@ class Link {
   // Wired once by Network after nodes exist.
   void set_destination(Node* node) { dst_node_ = node; }
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  // Telemetry tap observing this link's delivery stream (one-branch-when-
+  // off, same discipline as the tracer). The tap is invoked from every
+  // delivery call site — unbatched, batched, and cross-shard injected — so
+  // it sees the full stream in delivery order regardless of engine mode.
+  void set_telemetry_tap(telemetry::ReorderTap* tap) { tap_ = tap; }
   // Shares the network-wide recycling pool for in-flight packets. A link
   // constructed standalone (tests) lazily creates its own.
   void set_packet_pool(std::shared_ptr<PacketPool> pool) {
@@ -108,6 +117,13 @@ class Link {
   // (mobility / outage models).
   void set_down(bool down) { down_ = down; }
   bool is_down() const { return down_; }
+
+  // Delivery entry point for cross-shard injected packets (parallel mode
+  // cut links): the destination shard executes the mailbox entry here so
+  // tap/trace observation happens at the same layer as local deliveries.
+  // Source-side stats and in-transit accounting already happened at push
+  // time in complete_packet — this only counts execution and hands off.
+  void deliver_injected(PooledPacket p);
 
   // Hands a packet to this link; may drop it immediately if the queue is
   // full.
@@ -209,6 +225,7 @@ class Link {
   sim::Rng jitter_rng_;
   std::function<bool(const Packet&)> drop_filter_;
   trace::Tracer* tracer_ = nullptr;
+  telemetry::ReorderTap* tap_ = nullptr;
   LinkStats stats_;
 
   // --- Batched hot path state --------------------------------------------

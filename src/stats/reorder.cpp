@@ -1,6 +1,7 @@
 #include "stats/reorder.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/check.hpp"
 
@@ -39,6 +40,11 @@ void ReorderMonitor::on_arrival(net::SeqNo seq) {
       max_buffer_ = std::max(max_buffer_, buffer_.size());
     }
   }
+  const std::size_t occ_bucket = std::min(
+      static_cast<std::size_t>(
+          std::bit_width(static_cast<std::uint64_t>(buffer_.size()))),
+      kOccupancyBuckets - 1);
+  ++occupancy_hist_[occ_bucket];
 }
 
 void ReorderMonitor::reset() {
@@ -51,6 +57,7 @@ void ReorderMonitor::reset() {
   next_expected_ = 0;
   buffer_.clear();
   max_buffer_ = 0;
+  occupancy_hist_.fill(0);
 }
 
 void ReorderMonitor::merge_into(ReorderMonitor& agg) const {
@@ -65,6 +72,9 @@ void ReorderMonitor::merge_into(ReorderMonitor& agg) const {
     agg.histogram_.back() += histogram_[i];
   }
   agg.max_buffer_ = std::max(agg.max_buffer_, max_buffer_);
+  for (std::size_t i = 0; i < kOccupancyBuckets; ++i) {
+    agg.occupancy_hist_[i] += occupancy_hist_[i];
+  }
 }
 
 double ReorderMonitor::reordered_fraction() const {

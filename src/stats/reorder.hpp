@@ -4,6 +4,7 @@
 // stream of sequence numbers (e.g. via Receiver::set_data_tap).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <set>
 #include <vector>
@@ -14,6 +15,12 @@ namespace tcppr::stats {
 
 class ReorderMonitor {
  public:
+  // Log2 buckets for the buffer-occupancy distribution (RFC 5236 flavour):
+  // bucket 0 counts arrivals that found the restoration buffer empty,
+  // bucket b >= 1 counts arrivals that left it holding [2^(b-1), 2^b)
+  // segments, last bucket absorbs the tail.
+  static constexpr std::size_t kOccupancyBuckets = 16;
+
   // Extents >= histogram size land in the last bucket.
   explicit ReorderMonitor(std::size_t histogram_buckets = 64);
 
@@ -41,12 +48,28 @@ class ReorderMonitor {
   // Reorder extent (next-expected distance) of reordered arrivals.
   net::SeqNo max_extent() const { return max_extent_; }
   double mean_extent() const;
+  double extent_sum() const { return extent_sum_; }
+  // Highest sequence number observed so far (-1 before any arrival).
+  net::SeqNo max_seen() const { return max_seen_; }
   const std::vector<std::uint64_t>& extent_histogram() const {
     return histogram_;
   }
   // Largest number of out-of-order segments an in-order-delivery buffer
   // had to hold simultaneously.
   std::size_t max_buffer_occupancy() const { return max_buffer_; }
+  // Segments currently parked in the restoration buffer (gaps open now).
+  std::size_t buffered_now() const { return buffer_.size(); }
+  // True when every observed segment has been released in order — i.e. the
+  // arrival stream seen so far contains no unfilled gap. For a flow that
+  // delivered a dense prefix 0..k this implies max_buffer_occupancy() <=
+  // max_extent(): each buffered segment was a distinct integer in
+  // (blocking_seq, max_seen], an interval of width max_extent.
+  bool complete() const { return buffer_.empty(); }
+  // Per-arrival occupancy distribution (see kOccupancyBuckets).
+  const std::array<std::uint64_t, kOccupancyBuckets>& occupancy_histogram()
+      const {
+    return occupancy_hist_;
+  }
 
  private:
   std::uint64_t total_ = 0;
@@ -60,6 +83,7 @@ class ReorderMonitor {
   net::SeqNo next_expected_ = 0;
   std::set<net::SeqNo> buffer_;
   std::size_t max_buffer_ = 0;
+  std::array<std::uint64_t, kOccupancyBuckets> occupancy_hist_{};
 };
 
 }  // namespace tcppr::stats

@@ -1,0 +1,208 @@
+#include "telemetry/reorder_tap.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace tcppr::telemetry {
+
+namespace {
+
+// Extent histograms on the exact side stay small: the checker compares
+// scalar totals, not bucket shapes, so 16 buckets keep the per-flow ground
+// truth cheap when the baseline is enabled.
+constexpr std::size_t kExactHistBuckets = 16;
+
+std::size_t round_up_pow2(std::size_t n) {
+  return std::bit_ceil(std::max<std::size_t>(n, 2));
+}
+
+// splitmix64 finalizer: cheap, well-mixed, and deterministic across
+// platforms — the slot/count-min indices must not depend on std::hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Displacement bucket: 0 -> 0, [2^(b-1), 2^b) -> b, tail capped.
+std::size_t hist_bucket(net::SeqNo displacement) {
+  const auto width = static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(displacement)));
+  return std::min(width, ReorderTap::kHistBuckets - 1);
+}
+
+}  // namespace
+
+ReorderTap::ReorderTap(const TapConfig& config)
+    : slots_(round_up_pow2(config.flow_slots)),
+      slot_mask_(slots_.size() - 1),
+      max_tenure_(std::max<std::uint32_t>(config.max_tenure, 1)),
+      cms_(kCmsRows * round_up_pow2(config.cms_width), 0),
+      cms_mask_(round_up_pow2(config.cms_width) - 1),
+      exact_enabled_(config.exact_baseline),
+      exact_folded_(kExactHistBuckets) {}
+
+std::size_t ReorderTap::slot_index(net::FlowId flow) const {
+  return static_cast<std::size_t>(
+             mix64(static_cast<std::uint64_t>(flow))) &
+         slot_mask_;
+}
+
+void ReorderTap::observe(net::FlowId flow, net::SeqNo seq) {
+  ++data_packets_;
+  if (exact_enabled_) {
+    exact_.try_emplace(flow, kExactHistBuckets).first->second.on_arrival(seq);
+  }
+  Slot& s = slots_[slot_index(flow)];
+  if (s.flow != flow) {
+    if (s.flow == net::kInvalidFlow) {
+      s.flow = flow;
+      s.tenure = 1;
+    } else {
+      // Misra-Gries style contention: the newcomer spends one colliding
+      // packet eroding the resident's tenure; only a resident worn down to
+      // zero is folded out and replaced. Deterministic, and the resident's
+      // counters survive in the aggregate — never lost, never doubled.
+      ++collisions_;
+      if (--s.tenure != 0) return;  // newcomer rejected, packet untracked
+      fold_slot(s, /*retired=*/false);
+      s.flow = flow;
+      s.tenure = 1;
+    }
+  } else if (s.tenure < max_tenure_) {
+    ++s.tenure;
+  }
+  ++s.packets;
+  if (seq > s.max_seen) {
+    s.max_seen = seq;
+    return;
+  }
+  const net::SeqNo displacement = s.max_seen - seq;
+  ++s.reordered;
+  s.displacement_sum += static_cast<std::uint64_t>(displacement);
+  s.max_displacement = std::max(s.max_displacement, displacement);
+  ++hist_[hist_bucket(displacement)];
+  note_reorder(flow);
+}
+
+void ReorderTap::fold_slot(Slot& slot, bool retired) {
+  folded_packets_ += slot.packets;
+  folded_reordered_ += slot.reordered;
+  folded_displacement_sum_ += slot.displacement_sum;
+  folded_max_displacement_ =
+      std::max(folded_max_displacement_, slot.max_displacement);
+  if (retired) {
+    ++retired_folds_;
+  } else {
+    ++evictions_;
+  }
+  slot = Slot{};
+}
+
+void ReorderTap::retire_flow(net::FlowId flow) {
+  Slot& s = slots_[slot_index(flow)];
+  if (s.flow == flow) fold_slot(s, /*retired=*/true);
+  if (exact_enabled_) {
+    const auto it = exact_.find(flow);
+    if (it != exact_.end()) {
+      it->second.merge_into(exact_folded_);
+      ++exact_retired_folds_;
+      exact_.erase(it);
+    }
+  }
+}
+
+void ReorderTap::note_reorder(net::FlowId flow) {
+  for (std::size_t row = 0; row < kCmsRows; ++row) {
+    std::uint32_t& c =
+        cms_[row * (cms_mask_ + 1) +
+             (static_cast<std::size_t>(
+                  mix64(static_cast<std::uint64_t>(flow) ^ (row + 1))) &
+              cms_mask_)];
+    if (c != UINT32_MAX) ++c;
+  }
+  // Heavy-reorderer list: update in place, else displace the lightest
+  // entry when this flow's estimate strictly exceeds it (strict keeps the
+  // list deterministic under ties).
+  const std::uint64_t est = cms_estimate(flow);
+  std::size_t lightest = 0;
+  for (std::size_t i = 0; i < kHeavyFlows; ++i) {
+    if (heavy_[i].flow == flow) {
+      heavy_[i].estimate = est;
+      return;
+    }
+    if (heavy_[i].estimate < heavy_[lightest].estimate) lightest = i;
+  }
+  if (est > heavy_[lightest].estimate) heavy_[lightest] = {flow, est};
+}
+
+std::uint64_t ReorderTap::cms_estimate(net::FlowId flow) const {
+  std::uint32_t est = UINT32_MAX;
+  for (std::size_t row = 0; row < kCmsRows; ++row) {
+    est = std::min(
+        est, cms_[row * (cms_mask_ + 1) +
+                  (static_cast<std::size_t>(
+                       mix64(static_cast<std::uint64_t>(flow) ^ (row + 1))) &
+                   cms_mask_)]);
+  }
+  return est;
+}
+
+std::vector<ReorderTap::HeavyFlow> ReorderTap::heavy_reorderers() const {
+  std::vector<HeavyFlow> out;
+  for (const HeavyFlow& h : heavy_) {
+    if (h.flow != net::kInvalidFlow && h.estimate > 0) out.push_back(h);
+  }
+  std::sort(out.begin(), out.end(), [](const HeavyFlow& a, const HeavyFlow& b) {
+    return a.estimate != b.estimate ? a.estimate > b.estimate
+                                    : a.flow < b.flow;
+  });
+  return out;
+}
+
+ReorderTap::Totals ReorderTap::totals() const {
+  Totals t;
+  t.data_packets = data_packets_;
+  t.other_packets = other_packets_;
+  t.reordered = folded_reordered_;
+  t.displacement_sum = folded_displacement_sum_;
+  t.max_displacement = folded_max_displacement_;
+  t.collisions = collisions_;
+  t.evictions = evictions_;
+  t.retired_folds = retired_folds_;
+  t.folded_flows = evictions_ + retired_folds_;
+  for (const Slot& s : slots_) {
+    if (s.flow == net::kInvalidFlow) continue;
+    t.reordered += s.reordered;
+    t.displacement_sum += s.displacement_sum;
+    t.max_displacement = std::max(t.max_displacement, s.max_displacement);
+  }
+  return t;
+}
+
+ReorderTap::ExactTotals ReorderTap::exact_totals() const {
+  TCPPR_CHECK(exact_enabled_);
+  ExactTotals t;
+  t.total = exact_folded_.total();
+  t.reordered = exact_folded_.reordered();
+  t.extent_sum = exact_folded_.extent_sum();
+  t.max_extent = exact_folded_.max_extent();
+  for (const auto& [flow, mon] : exact_) {
+    (void)flow;
+    t.total += mon.total();
+    t.reordered += mon.reordered();
+    t.extent_sum += mon.extent_sum();
+    t.max_extent = std::max(t.max_extent, mon.max_extent());
+  }
+  return t;
+}
+
+std::size_t ReorderTap::sketch_bytes() const {
+  return slots_.capacity() * sizeof(Slot) +
+         cms_.capacity() * sizeof(std::uint32_t) + sizeof(hist_) +
+         sizeof(heavy_);
+}
+
+}  // namespace tcppr::telemetry

@@ -1,0 +1,131 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+
+#include "net/network.hpp"
+#include "obs/registry.hpp"
+#include "util/check.hpp"
+
+namespace tcppr::telemetry {
+
+Telemetry::Telemetry(net::Network& network, TelemetryConfig config)
+    : network_(network) {
+  for (const auto& link : network_.links()) {
+    taps_.emplace_back(config.tap);
+    links_.push_back(link.get());
+    link->set_telemetry_tap(&taps_.back());
+  }
+}
+
+Telemetry::~Telemetry() {
+  for (net::Link* link : links_) link->set_telemetry_tap(nullptr);
+}
+
+void Telemetry::retire_flow(net::FlowId flow) {
+  ++retire_calls_;
+  for (ReorderTap& tap : taps_) tap.retire_flow(flow);
+}
+
+ReorderTap::Totals Telemetry::aggregate() const {
+  ReorderTap::Totals agg;
+  for (const ReorderTap& tap : taps_) {
+    const ReorderTap::Totals t = tap.totals();
+    agg.data_packets += t.data_packets;
+    agg.other_packets += t.other_packets;
+    agg.reordered += t.reordered;
+    agg.displacement_sum += t.displacement_sum;
+    agg.max_displacement = std::max(agg.max_displacement, t.max_displacement);
+    agg.collisions += t.collisions;
+    agg.evictions += t.evictions;
+    agg.retired_folds += t.retired_folds;
+    agg.folded_flows += t.folded_flows;
+  }
+  return agg;
+}
+
+std::size_t Telemetry::sketch_bytes_per_tap() const {
+  return taps_.empty() ? 0 : taps_.front().sketch_bytes();
+}
+
+void Telemetry::publish(obs::MetricRegistry& registry, sim::TimePoint t) const {
+  if (!registry.active()) return;
+  const ReorderTap::Totals agg = aggregate();
+  const auto gauge = [&](const char* name, double value) {
+    registry.set(t, registry.intern(name, obs::MetricKind::kGauge),
+                 net::kInvalidFlow, value);
+  };
+  gauge("telemetry.data_packets", static_cast<double>(agg.data_packets));
+  gauge("telemetry.reordered", static_cast<double>(agg.reordered));
+  gauge("telemetry.reordered_fraction",
+        agg.data_packets > 0 ? static_cast<double>(agg.reordered) /
+                                   static_cast<double>(agg.data_packets)
+                             : 0.0);
+  gauge("telemetry.displacement_sum",
+        static_cast<double>(agg.displacement_sum));
+  gauge("telemetry.max_displacement",
+        static_cast<double>(agg.max_displacement));
+  gauge("telemetry.evictions", static_cast<double>(agg.evictions));
+  gauge("telemetry.retired_folds", static_cast<double>(agg.retired_folds));
+}
+
+void Telemetry::print_summary(std::FILE* out) const {
+  const ReorderTap::Totals agg = aggregate();
+  const double frac =
+      agg.data_packets > 0 ? static_cast<double>(agg.reordered) /
+                                 static_cast<double>(agg.data_packets)
+                           : 0.0;
+  const double mean_disp =
+      agg.reordered > 0 ? static_cast<double>(agg.displacement_sum) /
+                              static_cast<double>(agg.reordered)
+                        : 0.0;
+  std::fprintf(out,
+               "telemetry: %zu link taps (%zu sketch bytes each), "
+               "%llu data pkts, %.2f%% reordered, displacement mean %.2f "
+               "max %lld, folds %llu (%llu evicted, %llu retired)\n",
+               taps_.size(), sketch_bytes_per_tap(),
+               static_cast<unsigned long long>(agg.data_packets),
+               100.0 * frac, mean_disp,
+               static_cast<long long>(agg.max_displacement),
+               static_cast<unsigned long long>(agg.folded_flows),
+               static_cast<unsigned long long>(agg.evictions),
+               static_cast<unsigned long long>(agg.retired_folds));
+  // Busiest reordering links, worst first; quiet links stay out of the
+  // report.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < taps_.size(); ++i) {
+    if (taps_[i].totals().reordered > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return taps_[a].totals().reordered > taps_[b].totals().reordered;
+  });
+  if (order.size() > 8) order.resize(8);
+  for (const std::size_t i : order) {
+    const ReorderTap::Totals t = taps_[i].totals();
+    std::fprintf(out,
+                 "  link %d->%d: %llu/%llu reordered, displacement mean "
+                 "%.2f max %lld",
+                 links_[i]->from(), links_[i]->to(),
+                 static_cast<unsigned long long>(t.reordered),
+                 static_cast<unsigned long long>(t.data_packets),
+                 t.reordered > 0 ? static_cast<double>(t.displacement_sum) /
+                                       static_cast<double>(t.reordered)
+                                 : 0.0,
+                 static_cast<long long>(t.max_displacement));
+    const auto heavy = taps_[i].heavy_reorderers();
+    if (!heavy.empty()) {
+      std::fprintf(out, ", heavy flows:");
+      for (const auto& h : heavy) {
+        std::fprintf(out, " %d(~%llu)", h.flow,
+                     static_cast<unsigned long long>(h.estimate));
+      }
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+void Telemetry::corrupt_sketch_for_test() {
+  TCPPR_CHECK(!taps_.empty());
+  taps_.front().corrupt_sketch_for_test();
+}
+
+}  // namespace tcppr::telemetry

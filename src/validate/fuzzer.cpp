@@ -14,6 +14,7 @@
 #include "net/link_flapper.hpp"
 #include "net/link_pump.hpp"
 #include "sim/random.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "validate/determinism.hpp"
 #include "validate/invariants.hpp"
@@ -69,6 +70,8 @@ FuzzCase sample_fuzz_case(std::uint64_t seed) {
   // the same topology/fault mix they always did.
   c.churn_rate = rng.bernoulli(0.3) ? rng.uniform(100.0, 800.0) : 0.0;
   c.churn_kind = static_cast<int>(rng.uniform_int(3));
+  // Telemetry draws after churn: same seed-prefix rule, next dimension.
+  c.telemetry = rng.bernoulli(0.35);
   return c;
 }
 
@@ -97,11 +100,12 @@ std::string describe(const FuzzCase& c) {
       "topology=%s flows=%d variants=[%s] dur=%.2fs cross=%d loss=%.4f "
       "jitter=%.1fms flap=%d(up=%.2fs,down=%.2fs) reconf=%d eps=%g nodes=%d "
       "batch=%d "
-      "queue=%s par=%d churn=%s",
+      "queue=%s par=%d churn=%s telemetry=%d",
       to_string(c.topology), c.flows, variants.c_str(), c.duration_s,
       c.cross_traffic ? 1 : 0, c.loss_rate, c.jitter_ms, c.flap ? 1 : 0,
       c.flap_mean_up_s, c.flap_mean_down_s, c.reconfigure_mid_run ? 1 : 0,
-      c.epsilon, c.graph_nodes, c.batching ? 1 : 0, queue, c.par_lps, churn);
+      c.epsilon, c.graph_nodes, c.batching ? 1 : 0, queue, c.par_lps, churn,
+      c.telemetry ? 1 : 0);
   return buf;
 }
 
@@ -255,9 +259,25 @@ FuzzResult run_fuzz_case(const FuzzCase& c) {
                       [rx] { rx->corrupt_delivered_hash_for_test(); });
   }
 
+  // Link-tap telemetry attaches before the run so every delivery is
+  // observed; the exact baseline is on (fuzz cases are small), making each
+  // sweep a sketch-vs-ground-truth differential check.
+  std::unique_ptr<telemetry::Telemetry> telemetry;
+  if (c.telemetry) {
+    telemetry::TelemetryConfig tc;
+    tc.tap.exact_baseline = true;
+    telemetry = std::make_unique<telemetry::Telemetry>(s.network, tc);
+    if (c.corrupt_telemetry_for_test) {
+      telemetry::Telemetry* t = telemetry.get();
+      s.schedule_action(sim::TimePoint::from_seconds(c.duration_s / 2),
+                        /*affinity=*/0, [t] { t->corrupt_sketch_for_test(); });
+    }
+  }
+
   DeliveryHasher hasher;
   s.network.add_trace_sink(&hasher);
   InvariantChecker checker(s);
+  checker.set_telemetry(telemetry.get());
 
   // Parallel mode: shards, mailboxes and adoption happen here, after all
   // build-time scheduling above (the ParallelSim CHECKs the build
@@ -311,6 +331,12 @@ FuzzResult run_fuzz_case(const FuzzCase& c) {
     wc.reap_sweep = sim::Duration::millis(100);
     wc.seed = c.seed ^ 0xC4u;
     engine = std::make_unique<workload::WorkloadEngine>(s, wc, psim.get());
+    // Departed dynamic flows fold out of the link taps as they die —
+    // sequential runs only (taps belong to shard threads under --par; there
+    // the slot-tenure pressure displaces dead flows instead).
+    if (telemetry != nullptr && psim == nullptr) {
+      engine->set_telemetry(telemetry.get());
+    }
     engine->start();
   }
 
@@ -350,7 +376,16 @@ FuzzCase minimize_fuzz_case(const FuzzCase& failing, int max_runs) {
   bool changed = true;
   while (changed && runs < max_runs) {
     changed = false;
+    // Telemetry first: it is pure observation, so a failure that survives
+    // without it was never a telemetry bug and every later simplification
+    // runs cheaper.
     FuzzCase t = best;
+    if (best.telemetry) {
+      t.telemetry = false;
+      t.corrupt_telemetry_for_test = false;
+      if (still_fails(t)) { best = t; changed = true; continue; }
+    }
+    t = best;
     if (best.churn_rate > 0) {
       t.churn_rate = 0;
       if (still_fails(t)) { best = t; changed = true; continue; }

@@ -50,6 +50,11 @@ struct FuzzCase {
   // in the workload layer).
   double churn_rate = 0;  // mean dynamic-flow arrivals per second
   int churn_kind = 0;
+  // Link-tap reordering telemetry (src/telemetry) with the exact per-flow
+  // baseline enabled, checked against the sketches every sweep. Sampled
+  // AFTER churn (the seed-prefix rule above: seeds 1..N still expand to
+  // the cases they produced before this dimension existed).
+  bool telemetry = false;
   // Scheduler backend the scenario runs on. Never sampled (every backend
   // must produce identical trajectories, so sampling it would add nothing);
   // set explicitly by the backend-equivalence tests and --queue.
@@ -71,6 +76,7 @@ struct FuzzCase {
   // fuzzer; set explicitly by tests/validate_selftest.cpp.
   bool corrupt_transit_for_test = false;
   bool corrupt_delivery_for_test = false;
+  bool corrupt_telemetry_for_test = false;  // requires telemetry = true
 };
 
 const char* to_string(FuzzCase::Topology topology);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/tcp_pr.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/hash.hpp"
 
 namespace tcppr::validate {
@@ -66,7 +67,125 @@ void InvariantChecker::check_now() {
   check_conservation();
   for (const SenderState& s : senders_) check_sender(s);
   for (ReceiverState& r : receivers_) check_receiver(r);
+  check_telemetry();
   ++sweeps_;
+}
+
+void InvariantChecker::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  tap_prev_.assign(telemetry != nullptr ? telemetry->tap_count() : 0,
+                   TapSnapshot{});
+}
+
+void InvariantChecker::check_telemetry() {
+  if (telemetry_ == nullptr) return;
+  for (std::size_t i = 0; i < telemetry_->tap_count(); ++i) {
+    const telemetry::ReorderTap& tap = telemetry_->tap(i);
+    const telemetry::ReorderTap::Totals t = tap.totals();
+
+    // Monotone counters: totals() must never lose counts across sweeps —
+    // folding moves them into the aggregate, it doesn't drop them.
+    TapSnapshot& prev = tap_prev_[i];
+    if (t.data_packets < prev.data_packets || t.reordered < prev.reordered ||
+        t.displacement_sum < prev.displacement_sum ||
+        t.folded_flows < prev.folded_flows) {
+      add_violation(format(
+          "telemetry tap %zu: totals moved backwards (data %llu->%llu "
+          "reordered %llu->%llu disp %llu->%llu folds %llu->%llu)",
+          i, static_cast<unsigned long long>(prev.data_packets),
+          static_cast<unsigned long long>(t.data_packets),
+          static_cast<unsigned long long>(prev.reordered),
+          static_cast<unsigned long long>(t.reordered),
+          static_cast<unsigned long long>(prev.displacement_sum),
+          static_cast<unsigned long long>(t.displacement_sum),
+          static_cast<unsigned long long>(prev.folded_flows),
+          static_cast<unsigned long long>(t.folded_flows)));
+    }
+    prev = {t.data_packets, t.reordered, t.displacement_sum, t.folded_flows};
+
+    // Exactly-once folding arithmetic.
+    if (t.folded_flows != t.evictions + t.retired_folds) {
+      add_violation(format(
+          "telemetry tap %zu: folded_flows %llu != evictions %llu + "
+          "retired %llu",
+          i, static_cast<unsigned long long>(t.folded_flows),
+          static_cast<unsigned long long>(t.evictions),
+          static_cast<unsigned long long>(t.retired_folds)));
+    }
+
+    // Count-min bracket: each heavy-hitter estimate can over-count a flow
+    // but never exceeds the tap-wide detected total.
+    for (const auto& h : tap.heavy_reorderers()) {
+      if (h.estimate > t.reordered) {
+        add_violation(format(
+            "telemetry tap %zu: count-min estimate %llu for flow %d above "
+            "tap total %llu",
+            i, static_cast<unsigned long long>(h.estimate), h.flow,
+            static_cast<unsigned long long>(t.reordered)));
+      }
+    }
+
+    if (!tap.exact_baseline_enabled()) continue;
+    const telemetry::ReorderTap::ExactTotals ex = tap.exact_totals();
+    // Data packets are counted before the slot table can reject them, so
+    // sketch and exact agree exactly.
+    if (t.data_packets != ex.total) {
+      add_violation(format(
+          "telemetry tap %zu: sketch data_packets %llu != exact %llu", i,
+          static_cast<unsigned long long>(t.data_packets),
+          static_cast<unsigned long long>(ex.total)));
+    }
+    // One-sided bounds: a slot's running max is a lower bound on the
+    // flow's true running max, so the sketch never over-reports.
+    if (t.reordered > ex.reordered) {
+      add_violation(format(
+          "telemetry tap %zu: sketch reordered %llu above exact %llu", i,
+          static_cast<unsigned long long>(t.reordered),
+          static_cast<unsigned long long>(ex.reordered)));
+    }
+    if (static_cast<double>(t.displacement_sum) > ex.extent_sum + 1e-6) {
+      add_violation(format(
+          "telemetry tap %zu: sketch displacement sum %llu above exact %.1f",
+          i, static_cast<unsigned long long>(t.displacement_sum),
+          ex.extent_sum));
+    }
+    if (t.max_displacement > ex.max_extent) {
+      add_violation(format(
+          "telemetry tap %zu: sketch max displacement %lld above exact %lld",
+          i, static_cast<long long>(t.max_displacement),
+          static_cast<long long>(ex.max_extent)));
+    }
+    // Collision-free taps tracked every flow from its first packet: the
+    // sketch IS the exact answer.
+    if (t.collisions == 0 &&
+        (t.reordered != ex.reordered ||
+         static_cast<double>(t.displacement_sum) != ex.extent_sum ||
+         t.max_displacement != ex.max_extent)) {
+      add_violation(format(
+          "telemetry tap %zu: collision-free sketch disagrees with exact "
+          "(reordered %llu vs %llu, disp %llu vs %.1f, max %lld vs %lld)",
+          i, static_cast<unsigned long long>(t.reordered),
+          static_cast<unsigned long long>(ex.reordered),
+          static_cast<unsigned long long>(t.displacement_sum), ex.extent_sum,
+          static_cast<long long>(t.max_displacement),
+          static_cast<long long>(ex.max_extent)));
+    }
+    // RFC 5236 flavour occupancy invariant on the exact side: a flow whose
+    // arrival stream has no open gap never buffered more segments than its
+    // largest reorder extent (each buffered segment is a distinct integer
+    // in an interval of width max_extent).
+    for (const auto& [flow, mon] : tap.exact_flows()) {
+      if (mon.complete() &&
+          mon.max_buffer_occupancy() >
+              static_cast<std::size_t>(mon.max_extent())) {
+        add_violation(format(
+            "telemetry tap %zu flow %d: complete stream buffered %zu > "
+            "max extent %lld",
+            i, flow, mon.max_buffer_occupancy(),
+            static_cast<long long>(mon.max_extent())));
+      }
+    }
+  }
 }
 
 void InvariantChecker::sweep() {

@@ -40,6 +40,10 @@ namespace tcppr::core {
 class TcpPrSender;
 }
 
+namespace tcppr::telemetry {
+class Telemetry;
+}
+
 namespace tcppr::validate {
 
 struct Violation {
@@ -86,6 +90,15 @@ class InvariantChecker {
     external_in_flight_ = std::move(provider);
   }
 
+  // Telemetry surface: every sweep asserts, per tap, the sketches' declared
+  // error bounds against the exact baseline (sketch never over-reports
+  // reordering; exact when collision-free; count-min estimates bracketed),
+  // monotone tap counters across sweeps, exactly-once folding arithmetic,
+  // and — when the exact baseline is on — data_packets agreement and the
+  // completeness implication max_buffer_occupancy <= max_extent. Attach
+  // before the run; the telemetry must outlive the checker's last sweep.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
   bool ok() const { return total_violations_ == 0; }
   std::uint64_t total_violations() const { return total_violations_; }
   const std::vector<Violation>& violations() const { return violations_; }
@@ -116,6 +129,7 @@ class InvariantChecker {
   void check_conservation();
   void check_sender(const SenderState& s);
   void check_receiver(ReceiverState& r);
+  void check_telemetry();
   void add_violation(std::string what);
 
   harness::Scenario& scenario_;
@@ -127,6 +141,16 @@ class InvariantChecker {
   std::uint64_t sweeps_ = 0;
   bool finalized_ = false;
   std::function<std::uint64_t()> external_in_flight_;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  // Per-tap monotonicity snapshots from the previous sweep:
+  // {data_packets, reordered, displacement_sum, folded_flows}.
+  struct TapSnapshot {
+    std::uint64_t data_packets = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t displacement_sum = 0;
+    std::uint64_t folded_flows = 0;
+  };
+  std::vector<TapSnapshot> tap_prev_;
   sim::Timer timer_;
 };
 

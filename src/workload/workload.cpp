@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "harness/parallel_run.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace tcppr::workload {
@@ -163,6 +164,7 @@ void FlowServer::close_slot(std::uint32_t slot, bool reaped) {
   mon_[slot]->reset();
   mon_pool_.push_back(std::move(mon_[slot]));
   if (registry_ != nullptr) registry_->retire_flow(flow);
+  if (telemetry_ != nullptr) telemetry_->retire_flow(flow);
   --live_;
   if (reaped) {
     ++reaped_;
@@ -284,6 +286,14 @@ void WorkloadEngine::set_metric_registry(obs::MetricRegistry& registry) {
   TCPPR_CHECK(!parallel_);
   registry_ = &registry;
   server_->set_metric_registry(&registry);
+}
+
+void WorkloadEngine::set_telemetry(telemetry::Telemetry* telemetry) {
+  // Same restriction as the registry: parallel mode taps belong to shard
+  // threads and must not see live retirements from the build thread.
+  TCPPR_CHECK(telemetry == nullptr || !parallel_);
+  telemetry_ = telemetry;
+  server_->set_telemetry(telemetry);
 }
 
 void WorkloadEngine::start() {
@@ -473,6 +483,7 @@ void WorkloadEngine::teardown(std::uint32_t slot, std::uint32_t gen) {
   // side, then quarantine the flow id.
   sender_[slot].reset();
   if (registry_ != nullptr) registry_->retire_flow(flow);
+  if (telemetry_ != nullptr) telemetry_->retire_flow(flow);
   send_close(flow);
   state_[slot] = kCooling;
   freed_at_ns_[slot] = now_ns;

@@ -44,6 +44,10 @@ namespace tcppr::harness {
 class ParallelSim;
 }
 
+namespace tcppr::telemetry {
+class Telemetry;
+}
+
 namespace tcppr::workload {
 
 enum class WorkloadKind { kPoisson, kWeb, kOnOff };
@@ -142,6 +146,13 @@ class FlowServer final : public net::Agent {
   void set_metric_registry(obs::MetricRegistry* registry) {
     registry_ = registry;
   }
+  // Link-tap telemetry retirement: close_slot reports the departed flow so
+  // every tap folds its slot/exact entry (idempotent — the engine's sender
+  // teardown reports the same departure). Sequential mode only, like the
+  // metric registry above.
+  void set_telemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
   void start();
   void stop();
 
@@ -202,6 +213,7 @@ class FlowServer final : public net::Agent {
   stats::ReorderMonitor departed_agg_;
 
   obs::MetricRegistry* registry_ = nullptr;
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::uint64_t created_ = 0;
   std::uint64_t closed_ = 0;
   std::uint64_t reaped_ = 0;
@@ -229,6 +241,10 @@ class WorkloadEngine {
   // and teardown retires the flow's registry entries. Pair with
   // registry.set_aggregate_only(true) at churn scale.
   void set_metric_registry(obs::MetricRegistry& registry);
+  // Link-tap telemetry retirement on flow teardown (sequential mode only;
+  // in parallel mode taps belong to shard threads and departed flows are
+  // displaced by slot-tenure pressure instead).
+  void set_telemetry(telemetry::Telemetry* telemetry);
 
   void start();
   // Stops new arrivals; in-flight flows keep draining until destruction.
@@ -297,6 +313,7 @@ class WorkloadEngine {
 
   std::unique_ptr<FlowServer> server_;
   obs::MetricRegistry* registry_ = nullptr;
+  telemetry::Telemetry* telemetry_ = nullptr;
   WorkloadStats stats_;
 };
 

@@ -49,6 +49,28 @@ TEST(ValidateSelfTest, CorruptedDeliveryHashIsCaught) {
       << r.first_violation;
 }
 
+TEST(ValidateSelfTest, CorruptedTelemetrySketchIsCaught) {
+  FuzzCase c = base_case();
+  c.telemetry = true;
+  c.corrupt_telemetry_for_test = true;
+  const FuzzResult r = run_fuzz_case(c);
+  EXPECT_FALSE(r.ok);
+  EXPECT_GT(r.violations, 0u);
+  EXPECT_NE(r.first_violation.find("telemetry"), std::string::npos)
+      << r.first_violation;
+}
+
+TEST(ValidateSelfTest, MinimizerDisablesTelemetryFirst) {
+  // A failure that has nothing to do with telemetry: the minimizer's first
+  // accepted simplification must strip the telemetry dimension.
+  FuzzCase c = base_case();
+  c.corrupt_transit_for_test = true;
+  c.telemetry = true;
+  const FuzzCase min = minimize_fuzz_case(c, /*max_runs=*/10);
+  EXPECT_FALSE(run_fuzz_case(min).ok);
+  EXPECT_FALSE(min.telemetry);
+}
+
 TEST(ValidateSelfTest, MinimizerPreservesFailure) {
   FuzzCase c = base_case();
   c.corrupt_transit_for_test = true;

@@ -13,6 +13,7 @@ Gated benchmarks — the engine cost centers this repo optimizes:
     BM_BatchDelivery/*          batched vs unbatched forwarding hot path
     BM_ScaleFlowsDumbbell/*     many-flow dumbbell, batched + unbatched rows
     BM_ScaleFlowsChurn/*        dynamic flow lifecycle churn sweep
+    BM_TelemetryTap/*           link-tap reordering telemetry overhead
 
 Churn rows carry their own machine-independent gates: bytes_per_slot must
 stay inside the per-slot slab budget (128 = 2x the asserted 64-byte
@@ -65,6 +66,7 @@ GATED_PATTERNS = [
     r"^BM_BatchDelivery(/|$)",
     r"^BM_ScaleFlowsDumbbell(/|$)",
     r"^BM_ScaleFlowsChurn(/|$)",
+    r"^BM_TelemetryTap(/|$)",
 ]
 
 # Batched hot-path acceptance: every batched row must land below one
@@ -84,6 +86,14 @@ EVENTS_PER_PACKET_MAX = 1.0
 CHURN_ROW_RE = re.compile(r"^BM_ScaleFlowsChurn(/|$)")
 CHURN_BYTES_PER_SLOT_MAX = 128.0
 CHURN_MIN_COMPLETED_FRAC = 0.9
+
+# Telemetry tap overhead: both ratios compare rows from the same run, so
+# no machine calibration is involved. With no taps attached the forwarding
+# loop pays one never-taken branch per delivery and must track the
+# untapped loop; with taps on every link the sketch update must stay
+# within a small constant factor.
+TELEMETRY_OFF_MAX_RATIO = 1.15  # BM_TelemetryTap/0 vs BM_PacketForwardLoop
+TELEMETRY_ON_MAX_RATIO = 1.6    # BM_TelemetryTap/1 vs BM_TelemetryTap/0
 
 # Parallel-harness rows encode their LP (worker thread) count in the name.
 LPS_RE = re.compile(r"/lps:(\d+)")
@@ -235,6 +245,39 @@ def check_churn(current, counters):
     return failures
 
 
+def check_telemetry(current):
+    """Gates the telemetry tap on same-run ratios.
+
+    BM_TelemetryTap/0 (taps compiled in, none attached) must track
+    BM_PacketForwardLoop — the off state is one predictable branch per
+    delivery. BM_TelemetryTap/1 (a tap on every link) must stay within a
+    small constant factor of /0. Returns a list of failure descriptions.
+    """
+    failures = []
+    off = current.get("BM_TelemetryTap/0")
+    on = current.get("BM_TelemetryTap/1")
+    plain = current.get("BM_PacketForwardLoop")
+    if off is not None and plain is not None and plain > 0:
+        ratio = off / plain
+        if ratio > TELEMETRY_OFF_MAX_RATIO:
+            print(f"  FAILED   telemetry-off forwarding ratio {ratio:.3f} "
+                  f"> {TELEMETRY_OFF_MAX_RATIO}")
+            failures.append(f"telemetry-off ratio {ratio:.3f}")
+        else:
+            print(f"  OK       telemetry-off forwarding ratio {ratio:.3f} "
+                  f"(<= {TELEMETRY_OFF_MAX_RATIO})")
+    if on is not None and off is not None and off > 0:
+        ratio = on / off
+        if ratio > TELEMETRY_ON_MAX_RATIO:
+            print(f"  FAILED   telemetry-on tap ratio {ratio:.3f} "
+                  f"> {TELEMETRY_ON_MAX_RATIO}")
+            failures.append(f"telemetry-on ratio {ratio:.3f}")
+        else:
+            print(f"  OK       telemetry-on tap ratio {ratio:.3f} "
+                  f"(<= {TELEMETRY_ON_MAX_RATIO})")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", required=True,
@@ -294,6 +337,7 @@ def main():
 
     failures += check_batching(current, cur_counters)
     failures += check_churn(current, cur_counters)
+    failures += check_telemetry(current)
 
     if checked == 0 and not failures:
         sys.exit("error: no gated benchmarks found in the baseline — "

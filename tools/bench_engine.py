@@ -54,14 +54,19 @@ TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 # threads field, is the number of worker threads the row needs.
 LPS_RE = re.compile(r"/lps:(\d+)")
 
-# The batched-vs-unbatched speedup pair that bench_check.py gates at a
-# hard ratio. Single-shot timings swing well past the gate's margin — the
-# first benchmark in a process pays allocator warm-up, and box speed
-# drifts over minutes — so these two rows are always re-measured with
-# warmed-up, randomly interleaved repetitions (interleaving spreads each
-# row's reps across the process lifetime, so drift hits both rows alike)
-# and recorded as medians. Everything else stays single-shot for runtime.
-SPEEDUP_PAIR_FILTER = r"BM_ScaleFlowsDumbbell/flows:4096/backend:0/batch:[01]$"
+# Row groups that bench_check.py gates at hard same-run ratios. Single-shot
+# timings swing well past the gate's margin — the first benchmark in a
+# process pays allocator warm-up, and box speed drifts over minutes — so
+# each group is always re-measured with warmed-up, randomly interleaved
+# repetitions (interleaving spreads each row's reps across the process
+# lifetime, so drift hits all rows of a ratio alike) and recorded as
+# medians. Everything else stays single-shot for runtime.
+RATIO_GROUPS = [
+    # batched-vs-unbatched 4096-flow dumbbell speedup
+    ("scale_flows", r"BM_ScaleFlowsDumbbell/flows:4096/backend:0/batch:[01]$"),
+    # telemetry tap overhead vs the untapped forwarding loop
+    ("micro_engine", r"BM_TelemetryTap/[01]$|BM_PacketForwardLoop$"),
+]
 SPEEDUP_PAIR_REPS = 5
 SPEEDUP_PAIR_FLAGS = [
     "--benchmark_enable_random_interleaving=true",
@@ -213,18 +218,22 @@ def main():
         thread_counts.update(threads)
         counter_map.update(counters)
 
-    # Re-measure the gated speedup pair with repetitions and keep the
+    # Re-measure each hard-ratio row group with repetitions and keep the
     # medians, unless this run already used repetitions or filtered the
-    # pair out.
-    if (not args.skip_scale and args.repetitions <= 1
-            and any(re.fullmatch(SPEEDUP_PAIR_FILTER, n) for n in after)):
-        _, times, threads, counters = run_binary(
-            bench_dir / "scale_flows", args,
-            bench_filter=SPEEDUP_PAIR_FILTER, repetitions=SPEEDUP_PAIR_REPS,
-            extra_flags=SPEEDUP_PAIR_FLAGS)
-        after.update(times)
-        thread_counts.update(threads)
-        counter_map.update(counters)
+    # group out.
+    if args.repetitions <= 1:
+        for binary_name, group_filter in RATIO_GROUPS:
+            binary = bench_dir / binary_name
+            if binary not in binaries:
+                continue
+            if not any(re.fullmatch(group_filter, n) for n in after):
+                continue
+            _, times, threads, counters = run_binary(
+                binary, args, bench_filter=group_filter,
+                repetitions=SPEEDUP_PAIR_REPS, extra_flags=SPEEDUP_PAIR_FLAGS)
+            after.update(times)
+            thread_counts.update(threads)
+            counter_map.update(counters)
 
     if args.baseline:
         with open(args.baseline) as f:

@@ -22,6 +22,7 @@
 #include "harness/parallel_run.hpp"
 #include "obs/registry.hpp"
 #include "obs/series.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 #include "validate/fuzzer.hpp"
 #include "validate/invariants.hpp"
@@ -52,6 +53,7 @@ struct Args {
   std::string ts_out;
   double ts_interval_s = 0.1;
   bool validate = false;
+  bool telemetry = false;  // per-link reordering taps + summary table
   std::string workload;       // "", poisson, web, onoff
   double arrival_rate = 100;  // dynamic-flow arrivals per second
   bool no_batch = false;  // run the unbatched one-event-per-op engine
@@ -109,6 +111,10 @@ void usage() {
       "  --ts-interval <s>     queue sampling interval (default 0.1)\n"
       "  --validate            run under the invariant checker; nonzero\n"
       "                        exit and a report on any violation\n"
+      "  --telemetry           attach a constant-memory reordering tap to\n"
+      "                        every link and print the summary table;\n"
+      "                        with --validate the taps carry an exact\n"
+      "                        baseline checked against the sketches\n"
       "  --workload poisson|web|onoff  overlay dynamic flow churn between\n"
       "                        the scenario's src/dst hosts: flows arrive,\n"
       "                        transfer and depart (src/workload engine)\n"
@@ -175,6 +181,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.ts_interval_s = std::atof(next());
     } else if (flag == "--validate") {
       args.validate = true;
+    } else if (flag == "--telemetry") {
+      args.telemetry = true;
     } else if (flag == "--workload") {
       args.workload = next();
     } else if (flag == "--arrival-rate") {
@@ -353,6 +361,18 @@ int main(int argc, char** argv) {
   if (args.validate) {
     checker = std::make_unique<validate::InvariantChecker>(*scenario);
   }
+  // Reordering telemetry: one tap per link, attached before anything runs.
+  // Pure observation — results (and delivery hashes) are byte-identical
+  // with or without it. Under --validate the taps also carry the exact
+  // per-flow baseline, and every checker sweep becomes a sketch-vs-exact
+  // differential check.
+  std::unique_ptr<telemetry::Telemetry> telemetry;
+  if (args.telemetry) {
+    telemetry::TelemetryConfig tc;
+    tc.tap.exact_baseline = args.validate;
+    telemetry = std::make_unique<telemetry::Telemetry>(scenario->network, tc);
+    if (checker) checker->set_telemetry(telemetry.get());
+  }
   // Parallel harness: built after every component (flows, sinks, checker)
   // but before anything runs — its constructor adopts the scenario's
   // build-time events. Observability probes schedule on the build
@@ -393,6 +413,7 @@ int main(int argc, char** argv) {
       registry.set_aggregate_only(true);  // churn scale: no per-flow labels
       engine->set_metric_registry(registry);
     }
+    if (telemetry && !psim) engine->set_telemetry(telemetry.get());
     engine->start();
   }
 
@@ -517,6 +538,14 @@ int main(int argc, char** argv) {
         ws.mean_completion_s(), engine->slab_bytes(), engine->slots_in_use(),
         100.0 * rs.reordered_fraction(),
         static_cast<unsigned long long>(rs.total()));
+  }
+  if (telemetry) {
+    std::printf("\n");
+    telemetry->print_summary(stdout);
+    if (series_sink) {
+      telemetry->publish(registry,
+                         sim::TimePoint::from_seconds(args.duration_s));
+    }
   }
   if (result.flows.size() > 1) {
     std::printf("mean normalized: tcp-pr %.3f, sack %.3f; CoV %.3f / %.3f\n",
