@@ -16,6 +16,8 @@
 // 2 = wheel.
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include <cstdint>
 #include <functional>
 
@@ -29,6 +31,16 @@
 namespace {
 
 using namespace tcppr;
+
+// Process peak resident set in bytes (ru_maxrss is kB on Linux). Monotone
+// over the process lifetime, so RSS-gated rows must run before any larger
+// benchmark in this file (registration order = file order) — and
+// bench_engine.py re-measures each row in a fresh subprocess anyway.
+std::size_t peak_rss_bytes() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+}
 
 sim::SchedulerBackend backend_arg(const benchmark::State& state) {
   switch (state.range(1)) {
@@ -225,6 +237,7 @@ void BM_ScaleFlowsChurn(benchmark::State& state) {
           : 0.0;
   state.counters["bytes_per_slot"] =
       slots > 0 ? static_cast<double>(slab) / static_cast<double>(slots) : 0.0;
+  state.counters["peak_rss_bytes"] = static_cast<double>(peak_rss_bytes());
 }
 BENCHMARK(BM_ScaleFlowsChurn)
     ->ArgNames({"rate"})
@@ -232,6 +245,52 @@ BENCHMARK(BM_ScaleFlowsChurn)
     ->Arg(4000)
     ->Arg(10000)
     ->Unit(benchmark::kMillisecond);
+
+// The top-end scale row (ROADMAP / ISSUE 9): 2^20 concurrent flows on the
+// fan-in/fan-out dumbbell with the tuned million-flow on/off workload —
+// a ~2 s ramp to saturation plus a 1-simulated-second steady-state
+// window, one iteration (the run is minutes, not microseconds). Gated on
+// its machine-independent memory columns (peak_concurrent, bytes_per_slot,
+// peak_rss_bytes — tools/bench_check.py); events_per_sec and
+// completed_frac ride along as recorded context. Excluded from the
+// PR-gating bench job (bench_engine.py --skip-1m); nightly runs it.
+void BM_ScaleFlows1M(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  workload::WorkloadStats ws;
+  std::uint64_t events = 0;
+  std::size_t slab = 0;
+  std::size_t slots = 0;
+  for (auto _ : state) {
+    harness::FanDumbbellConfig fc = harness::million_fan_config(flows);
+    auto scenario = harness::make_fan_dumbbell(fc);
+    workload::WorkloadConfig wc = workload::million_workload_config(flows);
+    workload::WorkloadEngine engine(*scenario, wc);
+    engine.start();
+    scenario->sched.run_until(sim::TimePoint::from_seconds(3));
+    ws = engine.stats();
+    events = scenario->sched.processed_count();
+    slab = engine.slab_bytes();
+    slots = engine.slots_in_use();
+    benchmark::DoNotOptimize(events);
+  }
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(events),
+      benchmark::Counter::kIsRate);
+  state.counters["peak_concurrent"] = static_cast<double>(ws.peak_active);
+  state.counters["completed_frac"] =
+      ws.arrivals > 0
+          ? static_cast<double>(ws.completed) / static_cast<double>(ws.arrivals)
+          : 0.0;
+  state.counters["bytes_per_slot"] =
+      slots > 0 ? static_cast<double>(slab) / static_cast<double>(slots) : 0.0;
+  state.counters["slab_bytes"] = static_cast<double>(slab);
+  state.counters["peak_rss_bytes"] = static_cast<double>(peak_rss_bytes());
+}
+BENCHMARK(BM_ScaleFlows1M)
+    ->ArgNames({"flows"})
+    ->Arg(1 << 20)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
 
 }  // namespace
 

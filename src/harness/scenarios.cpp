@@ -477,4 +477,95 @@ std::unique_ptr<Scenario> make_many_flows(const ManyFlowsConfig& config) {
   return s;
 }
 
+std::unique_ptr<Scenario> make_fan_dumbbell(const FanDumbbellConfig& config) {
+  TCPPR_CHECK(config.flows >= 1 &&
+              config.flows <= FanDumbbellConfig::kMaxFlows);
+  TCPPR_CHECK(config.fan_width >= 1);
+  auto s = std::make_unique<Scenario>(config.backend);
+  net::Network& nw = s->network;
+  sim::Rng rng(config.seed);
+
+  const net::NodeId src = nw.add_node();
+  const net::NodeId r1 = nw.add_node();
+  const net::NodeId r2 = nw.add_node();
+  const net::NodeId dst = nw.add_node();
+  s->src_host = src;
+  s->dst_host = dst;
+
+  const double bottleneck_bw = config.per_flow_bw_bps * config.flows;
+  // Each fan link carries ~1/fan_width of the aggregate; headroom keeps
+  // the fans out of the bottleneck's business.
+  const double fan_bw = config.access_bw_headroom * bottleneck_bw /
+                        static_cast<double>(config.fan_width);
+
+  const auto fan_link = [&](sim::Duration delay) {
+    net::LinkConfig cfg;
+    cfg.bandwidth_bps = fan_bw;
+    cfg.delay = delay;
+    cfg.queue_limit_packets = config.access_queue_packets;
+    return cfg;
+  };
+
+  // Relay fans: src == A_i == r1 and r2 == B_i == dst, relay i's host-side
+  // hop carrying the i * step delay spread.
+  std::vector<net::NodeId> a_relays;
+  std::vector<net::NodeId> b_relays;
+  for (int i = 0; i < config.fan_width; ++i) {
+    const sim::Duration spread = sim::Duration::nanos(
+        config.access_delay_base.as_nanos() +
+        static_cast<std::int64_t>(i) * config.access_delay_step.as_nanos());
+    const net::NodeId a = nw.add_node();
+    nw.add_duplex_link(src, a, fan_link(spread));
+    nw.add_duplex_link(a, r1, fan_link(config.access_delay_base));
+    a_relays.push_back(a);
+    const net::NodeId b = nw.add_node();
+    nw.add_duplex_link(r2, b, fan_link(config.access_delay_base));
+    nw.add_duplex_link(b, dst, fan_link(spread));
+    b_relays.push_back(b);
+  }
+
+  net::LinkConfig bottleneck;
+  bottleneck.bandwidth_bps = bottleneck_bw;
+  bottleneck.delay = config.bottleneck_delay;
+  bottleneck.queue_limit_packets = config.bottleneck_queue_packets;
+  auto [fwd, rev] = nw.add_duplex_link(r1, r2, bottleneck);
+  s->bottlenecks.push_back(fwd);
+  (void)rev;
+
+  nw.compute_static_routes();
+
+  // Per-packet ECMP across the fans, both directions: data sprays over the
+  // A relays at src and the B relays at r2; ACKs over the B relays at dst
+  // and the A relays at r1. With the delay spread above this is the
+  // persistent-reordering plant — consecutive segments race each other by
+  // up to 2 * (fan_width - 1) * access_delay_step per direction.
+  nw.node(src).set_ecmp_next_hops(dst, a_relays, rng.fork(11));
+  nw.node(r2).set_ecmp_next_hops(dst, b_relays, rng.fork(12));
+  nw.node(dst).set_ecmp_next_hops(src, b_relays, rng.fork(13));
+  nw.node(r1).set_ecmp_next_hops(src, a_relays, rng.fork(14));
+  return s;
+}
+
+FanDumbbellConfig million_fan_config(int flows) {
+  FanDumbbellConfig fc;
+  fc.flows = flows;
+  fc.fan_width = 8;
+  // Event-rate floor is flows / RTT (cwnd cannot go below 1 segment), so
+  // the top-end row buys wall-clock with a long pipe: ~0.9-1.0 s RTT
+  // means ~1.2 M deliveries per simulated second at 2^20 flows instead of
+  // the ~50 M a datacenter RTT would force.
+  fc.bottleneck_delay = sim::Duration::millis(300);
+  fc.access_delay_base = sim::Duration::millis(2);
+  fc.access_delay_step = sim::Duration::millis(25);
+  // ~1.4 segments per RTT per flow: enough for progress at cwnd 1-2,
+  // little enough that the aggregate stays at the floor.
+  fc.per_flow_bw_bps = 12e3;
+  fc.bottleneck_queue_packets = 1 << 16;  // far under one BDP: underbuffered
+  fc.access_queue_packets = 1 << 14;
+  // Millions of pending deadline timers: the hierarchical wheel's O(1)
+  // schedule/cancel beats the heap's log2(~4M) comparisons per op.
+  fc.backend = sim::SchedulerBackend::kTimingWheel;
+  return fc;
+}
+
 }  // namespace tcppr::harness

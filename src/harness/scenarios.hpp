@@ -212,4 +212,49 @@ struct ManyFlowsConfig {
 
 std::unique_ptr<Scenario> make_many_flows(const ManyFlowsConfig& config);
 
+// The million-flow plant (ROADMAP top-end row): a fan-in/fan-out dumbbell
+//
+//   src ══ A_0..A_{w-1} ══ r1 ── bottleneck ── r2 ══ B_0..B_{w-1} ══ dst
+//
+// where src/r2 spray packets toward dst (and dst/r1 back toward src)
+// uniformly across the w relay fans via per-packet ECMP. Relay access
+// delays spread by access_delay_step, so the fan is both the capacity
+// concentrator and a persistent-reordering plant in the paper's regime.
+// The bottleneck carries flows * per_flow_bw_bps; every per-flow quantity
+// (bandwidth share, queue headroom) is constant in `flows`, which only
+// scales the plant — at flows = 2^20 the per-flow share keeps each flow
+// near cwnd 1-2 so aggregate event rate stays ~flows/RTT.
+//
+// Builds the topology only: no static flows. Pair it with the
+// WorkloadEngine (tcppr_sim --workload), which spawns senders on src_host
+// and demuxes receivers on dst_host, or add flows by hand.
+struct FanDumbbellConfig {
+  static constexpr int kMaxFlows = 1 << 20;
+
+  int flows = 1 << 16;  // sizes the plant; actual flows come from workload
+  int fan_width = 8;    // relay nodes per side (>= 1)
+  double per_flow_bw_bps = 12e3;  // ~1.4 segments/RTT at the default RTT
+  sim::Duration bottleneck_delay = sim::Duration::millis(300);
+  // Relay i's host-side link adds base + i * step one-way delay; the
+  // relay-to-router hop adds another base.
+  sim::Duration access_delay_base = sim::Duration::millis(2);
+  sim::Duration access_delay_step = sim::Duration::millis(25);
+  double access_bw_headroom = 2.0;  // per fan link, over its traffic share
+  std::size_t bottleneck_queue_packets = 1 << 16;
+  std::size_t access_queue_packets = 1 << 14;
+  tcp::TcpConfig tcp;
+  core::TcpPrConfig pr;
+  std::uint64_t seed = 1;
+  sim::SchedulerBackend backend = sim::SchedulerBackend::kBinaryHeap;
+};
+
+std::unique_ptr<Scenario> make_fan_dumbbell(const FanDumbbellConfig& config);
+
+// The tuned 2^20-concurrent-flow plant: RTT ~0.9-1.0 s across the fan
+// spread (which minimizes the aggregate event rate floor of
+// flows / RTT forced by cwnd >= 1), timing-wheel scheduler for the
+// multi-million pending-event population. Pair with
+// workload::million_workload_config(flows).
+FanDumbbellConfig million_fan_config(int flows);
+
 }  // namespace tcppr::harness

@@ -1,0 +1,59 @@
+#include "workload/slot_table.hpp"
+
+#include "util/check.hpp"
+
+namespace tcppr::workload {
+
+SlotTable::SlotTable(std::int32_t capacity, std::int64_t quarantine_ns)
+    : capacity_(capacity), quarantine_ns_(quarantine_ns) {
+  TCPPR_CHECK(capacity_ > 0);
+  TCPPR_CHECK(quarantine_ns_ >= 0);
+}
+
+std::int32_t SlotTable::allocate(std::int64_t now_ns) {
+  // Lazily graduate cooled slots: only the FIFO front can be the coolest,
+  // so the loop does O(1) amortized work regardless of the table size.
+  while (!cooling_.empty()) {
+    const std::uint32_t slot = cooling_.front();
+    if (now_ns - freed_at_ns_[slot] < quarantine_ns_) break;
+    cooling_.pop_front();
+    state_[slot] = kReady;
+    ready_.push_back(slot);
+  }
+  std::int32_t slot = -1;
+  if (!ready_.empty()) {
+    slot = static_cast<std::int32_t>(ready_.back());
+    ready_.pop_back();
+  } else if (state_.size() < static_cast<std::size_t>(capacity_)) {
+    slot = static_cast<std::int32_t>(state_.size());
+    state_.push_back(kReady);
+    generation_.push_back(0);
+    freed_at_ns_.push_back(0);
+  } else {
+    return -1;  // exhausted: every slot active or still cooling
+  }
+  const auto uslot = static_cast<std::uint32_t>(slot);
+  state_[uslot] = kActive;
+  ++generation_[uslot];
+  ++active_count_;
+  return slot;
+}
+
+void SlotTable::release(std::uint32_t slot, std::int64_t now_ns) {
+  TCPPR_DCHECK(slot < state_.size() && state_[slot] == kActive);
+  state_[slot] = kCooling;
+  freed_at_ns_[slot] = now_ns;
+  cooling_.push_back(slot);
+  TCPPR_DCHECK(active_count_ > 0);
+  --active_count_;
+}
+
+std::size_t SlotTable::slab_bytes() const {
+  return state_.capacity() * sizeof(std::uint8_t) +
+         generation_.capacity() * sizeof(std::uint32_t) +
+         freed_at_ns_.capacity() * sizeof(std::int64_t) +
+         cooling_.size() * sizeof(std::uint32_t) +
+         ready_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace tcppr::workload

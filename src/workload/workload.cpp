@@ -35,6 +35,36 @@ bool parse_workload_kind(std::string_view name, WorkloadKind* out) {
   return true;
 }
 
+WorkloadConfig million_workload_config(int concurrent) {
+  WorkloadConfig wc;
+  wc.kind = WorkloadKind::kOnOff;
+  // Population slightly above the concurrency cap: with ~1 s thinks
+  // between ~20 s transfers each source is busy ~95% of the time, so the
+  // extra 1/16 keeps the cap saturated — active pins at max_concurrent
+  // instead of hovering just below the population size.
+  wc.onoff_sources = concurrent + concurrent / 16;
+  wc.max_concurrent = concurrent;
+  // Slot head-room for the quarantine FIFO: at steady state roughly
+  // quarantine / (transfer + think) of the population is cooling
+  // (~5 s / ~20 s), so 1.5x the cap leaves every arrival a cool slot.
+  wc.id_slots = concurrent + concurrent / 2;
+  wc.think_mu = 0.0;  // log-normal think, median 1 s
+  wc.think_sigma = 0.5;
+  // Heavy-tailed transfer sizes whose mice (2-3 segments, a few RTTs)
+  // still complete inside a nightly window while the mean (~22 segments,
+  // ~20 s at a 1-2 packet/RTT share) keeps the population busy.
+  wc.min_segments = 2;
+  wc.max_segments = 4096;
+  wc.pareto_shape = 1.1;
+  // Idle lease generous enough to survive an RTO at a ~0.9 s RTT; the
+  // quarantine stays above the 1.5 * reap_idle + reap_sweep worst-case
+  // reap so a recycled slot never meets its predecessor's receiver.
+  wc.reap_idle = sim::Duration::seconds(3);
+  wc.reap_sweep = sim::Duration::millis(250);
+  wc.quarantine = sim::Duration::seconds(5);
+  return wc;
+}
+
 // ---------------------------------------------------------------------------
 // FlowServer
 
@@ -173,10 +203,30 @@ void FlowServer::close_slot(std::uint32_t slot, bool reaped) {
   }
 }
 
+std::size_t FlowServer::reap_chunk() const {
+  // Full pass within reap_idle/2: with sweeps_per_cycle sweeps in half a
+  // lease, visiting ceil(size / sweeps_per_cycle) slots per sweep bounds
+  // the lag between "lease expired" and "clock hand arrives" by
+  // reap_idle/2 + reap_sweep, keeping the worst-case reap at
+  // 1.5 * reap_idle + reap_sweep after the last packet.
+  const std::int64_t half_lease = config_.reap_idle.as_nanos() / 2;
+  const std::int64_t sweep = std::max<std::int64_t>(
+      config_.reap_sweep.as_nanos(), 1);
+  const auto sweeps_per_cycle =
+      static_cast<std::size_t>(std::max<std::int64_t>(half_lease / sweep, 1));
+  return (rx_.size() + sweeps_per_cycle - 1) / sweeps_per_cycle;
+}
+
 void FlowServer::reap_sweep() {
   const std::int64_t now_ns = sched_->now().as_nanos();
   const std::int64_t lease_ns = config_.reap_idle.as_nanos();
-  for (std::uint32_t slot = 0; slot < rx_.size(); ++slot) {
+  // Clock-hand sweep: visit a bounded chunk, wrapping at the high-water
+  // slot count, so no single event scans the whole table at 2^20 slots.
+  std::size_t budget = reap_chunk();
+  while (budget > 0 && !rx_.empty()) {
+    if (reap_cursor_ >= rx_.size()) reap_cursor_ = 0;
+    const auto slot = static_cast<std::uint32_t>(reap_cursor_++);
+    --budget;
     if (rx_[slot] == nullptr) continue;
     if (now_ns - last_activity_ns_[slot] >= lease_ns) {
       close_slot(slot, /*reaped=*/true);
@@ -261,7 +311,8 @@ WorkloadEngine::WorkloadEngine(harness::Scenario& scenario,
       dst_(scenario.dst_host),
       rng_(sim::Rng(config.seed).fork(0xF10Au)),
       arrival_rng_(sim::Rng(config.seed).fork(0xA221u)),
-      arrival_timer_(scenario.sched) {
+      arrival_timer_(scenario.sched),
+      slots_(config.id_slots, config.quarantine.as_nanos()) {
   TCPPR_CHECK(src_ != net::kInvalidNode && dst_ != net::kInvalidNode);
   TCPPR_CHECK(config_.id_slots > 0);
   TCPPR_CHECK(config_.max_concurrent > 0);
@@ -367,49 +418,26 @@ net::SeqNo WorkloadEngine::sample_size(sim::Rng& rng) const {
                                 config_.min_segments, config_.max_segments);
 }
 
-std::int32_t WorkloadEngine::allocate_slot() {
-  const std::int64_t now_ns =
-      src_sched_->now().as_nanos();
-  const std::int64_t cool_ns = config_.quarantine.as_nanos();
-  while (!cooling_.empty()) {
-    const std::uint32_t slot = cooling_.front();
-    if (now_ns - freed_at_ns_[slot] < cool_ns) break;
-    cooling_.pop_front();
-    state_[slot] = kReady;
-    ready_.push_back(slot);
-  }
-  if (!ready_.empty()) {
-    const std::uint32_t slot = ready_.back();
-    ready_.pop_back();
-    return static_cast<std::int32_t>(slot);
-  }
-  if (state_.size() < static_cast<std::size_t>(config_.id_slots)) {
-    const auto slot = static_cast<std::uint32_t>(state_.size());
-    state_.push_back(kReady);
-    variant_.push_back(0);
-    incarnation_.push_back(0);
-    started_ns_.push_back(0);
-    freed_at_ns_.push_back(0);
-    source_.push_back(-1);
-    sender_.emplace_back();
-    return static_cast<std::int32_t>(slot);
-  }
-  return -1;  // exhausted: every slot active or still cooling
-}
-
 void WorkloadEngine::spawn_flow(int source) {
   if (stats_.active >= static_cast<std::size_t>(config_.max_concurrent)) {
     ++stats_.rejected;
     if (source >= 0) schedule_source_restart(source);
     return;
   }
-  const std::int32_t sslot = allocate_slot();
+  const std::int32_t sslot = slots_.allocate(src_sched_->now().as_nanos());
   if (sslot < 0) {
     ++stats_.rejected;
     if (source >= 0) schedule_source_restart(source);
     return;
   }
   const auto slot = static_cast<std::uint32_t>(sslot);
+  if (variant_.size() <= slot) {
+    // Lockstep slabs grow with the table's high-water count.
+    variant_.resize(slot + 1, 0);
+    started_ns_.resize(slot + 1, 0);
+    source_.resize(slot + 1, -1);
+    sender_.resize(slot + 1);
+  }
 
   // Flow characteristics fork off the monotone arrival index: recycling a
   // slot never replays or perturbs another flow's draws.
@@ -424,12 +452,12 @@ void WorkloadEngine::spawn_flow(int source) {
                                      flow, config_.tcp, config_.pr);
   if (parallel_) sender->rebind_scheduler(*src_sched_);
   sender->set_data_source(std::make_unique<tcp::FixedDataSource>(segments));
-  const std::uint32_t gen = ++incarnation_[slot];
+  // allocate() already bumped the generation for this incarnation.
+  const std::uint32_t gen = slots_.generation(slot);
   sender->set_completion_callback(
       [this, slot, gen] { on_complete(slot, gen); });
   if (registry_ != nullptr) sender->set_metric_registry(*registry_);
 
-  state_[slot] = kActive;
   variant_[slot] = static_cast<std::uint8_t>(variant);
   started_ns_[slot] = src_sched_->now().as_nanos();
   source_[slot] = source;
@@ -464,8 +492,8 @@ void WorkloadEngine::send_close(net::FlowId flow) {
 }
 
 void WorkloadEngine::teardown(std::uint32_t slot, std::uint32_t gen) {
-  if (slot >= state_.size() || state_[slot] != kActive ||
-      incarnation_[slot] != gen || sender_[slot] == nullptr) {
+  if (slot >= slots_.size() || !slots_.active(slot) ||
+      slots_.generation(slot) != gen || sender_[slot] == nullptr) {
     return;  // stale event for a recycled incarnation
   }
   const net::FlowId flow = config_.first_flow_id + static_cast<int>(slot);
@@ -485,9 +513,7 @@ void WorkloadEngine::teardown(std::uint32_t slot, std::uint32_t gen) {
   if (registry_ != nullptr) registry_->retire_flow(flow);
   if (telemetry_ != nullptr) telemetry_->retire_flow(flow);
   send_close(flow);
-  state_[slot] = kCooling;
-  freed_at_ns_[slot] = now_ns;
-  cooling_.push_back(slot);
+  slots_.release(slot, now_ns);
 
   if (source >= 0 && running_) schedule_source_restart(source);
 }
@@ -509,11 +535,8 @@ stats::ReorderMonitor WorkloadEngine::reorder_stats() const {
 }
 
 std::size_t WorkloadEngine::slab_bytes() const {
-  return state_.capacity() * sizeof(std::uint8_t) +
-         variant_.capacity() * sizeof(std::uint8_t) +
-         incarnation_.capacity() * sizeof(std::uint32_t) +
+  return slots_.slab_bytes() + variant_.capacity() * sizeof(std::uint8_t) +
          started_ns_.capacity() * sizeof(std::int64_t) +
-         freed_at_ns_.capacity() * sizeof(std::int64_t) +
          source_.capacity() * sizeof(std::int32_t) +
          sender_.capacity() * sizeof(sender_[0]) + server_->slab_bytes();
 }

@@ -32,13 +32,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string_view>
 #include <vector>
 
 #include "harness/scenarios.hpp"
 #include "stats/reorder.hpp"
+#include "workload/slot_table.hpp"
 
 namespace tcppr::harness {
 class ParallelSim;
@@ -94,9 +94,13 @@ struct WorkloadConfig {
   sim::Duration quarantine = sim::Duration::seconds(2);
 
   // Receiver-side idle lease: a receiver whose kTcpClose was lost (queue
-  // drop) is reaped after reap_idle without traffic, swept every
-  // reap_sweep. Keep reap_idle < quarantine or a recycled slot could find
-  // the old incarnation's receiver still attached.
+  // drop) is reaped after reap_idle without traffic. The reaper is a
+  // clock-hand sweep that visits a bounded chunk of the slot table every
+  // reap_sweep, completing a full pass within reap_idle/2 — so a reap
+  // happens at most 1.5 * reap_idle + reap_sweep after the last packet,
+  // and no single event scans the whole table at 2^20 slots. Keep that
+  // worst case below quarantine or a recycled slot could find the old
+  // incarnation's receiver still attached.
   sim::Duration reap_idle = sim::Duration::seconds(1);
   sim::Duration reap_sweep = sim::Duration::millis(250);
 
@@ -104,6 +108,15 @@ struct WorkloadConfig {
   core::TcpPrConfig pr;
   std::uint64_t seed = 1;
 };
+
+// The million-flow preset (ISSUE 9 / ROADMAP top-end row): a fixed on/off
+// population of `concurrent` sources — each holding a long Pareto transfer
+// with a ~1 s log-normal think between transfers — so steady-state
+// concurrency pins at the population size while the mice in the Pareto
+// tail still complete, recycle their id slots through the quarantine FIFO
+// and restart. Pair with harness::million_fan_config(concurrent) so the
+// per-flow bandwidth share keeps each flow near cwnd 1-2.
+WorkloadConfig million_workload_config(int concurrent);
 
 struct WorkloadStats {
   std::uint64_t arrivals = 0;   // senders created
@@ -181,6 +194,11 @@ class FlowServer final : public net::Agent {
   void close_slot(std::uint32_t slot, bool reaped);
   void schedule_close(std::uint32_t slot);
   void reap_sweep();
+  // Slots visited per sweep: the clock hand completes a full pass within
+  // reap_idle/2, so per-sweep work is bounded by the table size divided by
+  // the sweeps in half a lease (and a reap happens at most
+  // 1.5 * reap_idle + reap_sweep after the last packet).
+  std::size_t reap_chunk() const;
   void touch(std::uint32_t slot);
   // Slot for a workload flow id, or -1 when the packet is not ours.
   std::int32_t slot_of(net::FlowId flow) const;
@@ -196,6 +214,7 @@ class FlowServer final : public net::Agent {
   std::shared_ptr<int> alive_ = std::make_shared<int>(0);
   sim::Timer reap_timer_;
   bool running_ = false;
+  std::size_t reap_cursor_ = 0;  // clock hand over the slot arrays
 
   // Struct-of-arrays receiver slab, indexed by flow-id slot; grows to the
   // high-water slot index actually delivered to.
@@ -258,26 +277,23 @@ class WorkloadEngine {
   // Engine + server slab bytes currently reserved (capacity, not size —
   // what the process actually holds), and the asserted per-slot budget.
   std::size_t slab_bytes() const;
-  std::size_t slots_in_use() const { return state_.size(); }
+  std::size_t slots_in_use() const { return slots_.size(); }
   static constexpr std::size_t kSlabBytesPerSlot =
-      2 * sizeof(std::uint8_t) + sizeof(std::uint32_t) +
-      2 * sizeof(std::int64_t) + sizeof(std::int32_t) +
+      sizeof(std::uint8_t) + sizeof(std::int64_t) + sizeof(std::int32_t) +
       sizeof(std::unique_ptr<tcp::SenderBase>);
-  static_assert(kSlabBytesPerSlot + FlowServer::kSlabBytesPerSlot <= 64,
-                "per-flow slab budget: engine + receiver-side bookkeeping "
-                "must fit 64 bytes per flow-id slot");
+  static_assert(kSlabBytesPerSlot + SlotTable::kSlabBytesPerSlot +
+                        FlowServer::kSlabBytesPerSlot <=
+                    64,
+                "per-flow slab budget: engine + slot-table + receiver-side "
+                "bookkeeping must fit 64 bytes per flow-id slot");
 
  private:
-  enum SlotState : std::uint8_t { kActive = 1, kCooling = 2, kReady = 3 };
-
   void schedule_next_arrival();
   void schedule_source_restart(int source);
   void spawn_flow(int source);  // -1: Poisson/web arrival
   void on_complete(std::uint32_t slot, std::uint32_t gen);
   void teardown(std::uint32_t slot, std::uint32_t gen);
   void send_close(net::FlowId flow);
-  // Pops a cooled or fresh slot; -1 when the table is exhausted.
-  std::int32_t allocate_slot();
   net::SeqNo sample_size(sim::Rng& rng) const;
 
   harness::Scenario& scenario_;
@@ -296,20 +312,15 @@ class WorkloadEngine {
   bool running_ = false;
   std::uint64_t arrival_seq_ = 0;  // monotone; never recycled
 
-  // Struct-of-arrays flow slab, indexed by slot; grows lazily to the
-  // high-water slot count, capped at config.id_slots.
-  std::vector<std::uint8_t> state_;
+  // O(1) slot lifecycle (quarantine FIFO, generations) — see
+  // slot_table.hpp — plus lockstep struct-of-arrays flow slabs indexed by
+  // slot, grown lazily to the high-water slot count, capped at
+  // config.id_slots.
+  SlotTable slots_;
   std::vector<std::uint8_t> variant_;
-  std::vector<std::uint32_t> incarnation_;
   std::vector<std::int64_t> started_ns_;
-  std::vector<std::int64_t> freed_at_ns_;
   std::vector<std::int32_t> source_;  // on/off source index, -1 otherwise
   std::vector<std::unique_ptr<tcp::SenderBase>> sender_;
-
-  // Freed slots in FIFO quarantine order (front = coolest); slots whose
-  // cool-down elapsed move to ready_ at allocation time.
-  std::deque<std::uint32_t> cooling_;
-  std::vector<std::uint32_t> ready_;
 
   std::unique_ptr<FlowServer> server_;
   obs::MetricRegistry* registry_ = nullptr;

@@ -17,9 +17,13 @@ Gated benchmarks — the engine cost centers this repo optimizes:
 
 Churn rows carry their own machine-independent gates: bytes_per_slot must
 stay inside the per-slot slab budget (128 = 2x the asserted 64-byte
-budget, the factor covering vector capacity growth), and completed_frac
+budget, the factor covering vector capacity growth), completed_frac
 >= 0.9 proves the workload reached steady state instead of accumulating
-flows.
+flows, and peak_rss_bytes stays under a hard ceiling. The million-flow
+row (BM_ScaleFlows1M, produced by nightly — the PR bench job skips it via
+bench_engine.py --skip-1m) is gated the same way on its memory columns
+(peak_concurrent >= 2^20, bytes_per_slot, peak RSS) and never on wall
+time.
 
 Beyond wall time, the batched hot path is gated on its own metrics (both
 sides of each ratio come from the same run, so no machine calibration is
@@ -82,10 +86,29 @@ EVENTS_PER_PACKET_MAX = 1.0
 # footprint per live flow-id slot is machine-independent and must stay
 # inside the asserted 64-byte-per-slot budget (x2 for vector capacity
 # growth), and the run must actually churn — most arrivals complete
-# within the simulated window.
+# within the simulated window. Peak RSS is a whole-process ceiling in
+# machine-independent bytes: a slab/transport memory regression fails CI
+# even on a runner too slow for the wall-time gates to mean anything.
 CHURN_ROW_RE = re.compile(r"^BM_ScaleFlowsChurn(/|$)")
 CHURN_BYTES_PER_SLOT_MAX = 128.0
 CHURN_MIN_COMPLETED_FRAC = 0.9
+# ru_maxrss is process-lifetime-monotone, so this bounds everything the
+# scale_flows process touched up to and including the churn rows (they
+# register before BM_ScaleFlows1M precisely so its ~9 GB cannot bleed in).
+# Measured ~48 MB; 5x headroom for allocator and libc variation.
+CHURN_PEAK_RSS_MAX = 256e6
+
+# The million-flow row (BM_ScaleFlows1M): memory-gated, never time-gated —
+# it runs in nightly on whatever runner is available. peak_concurrent
+# proves the row actually held 2^20 flows; bytes_per_slot is the same
+# budget as churn; peak RSS covers the transport objects themselves
+# (sender + receiver + monitor ~6.5 kB per live flow, measured ~8.4 GB at
+# 2^20 — the ceiling is ~1.5x that). completed_frac and events_per_sec
+# ride along as recorded context only.
+MILLION_ROW_RE = re.compile(r"^BM_ScaleFlows1M(/|$)")
+MILLION_MIN_CONCURRENT = 1 << 20
+MILLION_BYTES_PER_SLOT_MAX = 128.0
+MILLION_PEAK_RSS_MAX = 12.5e9
 
 # Telemetry tap overhead: both ratios compare rows from the same run, so
 # no machine calibration is involved. With no taps attached the forwarding
@@ -231,6 +254,7 @@ def check_churn(current, counters):
                   f"counters")
             failures.append(f"{name} (counters missing)")
             continue
+        rss = row.get("peak_rss_bytes")
         if bps > CHURN_BYTES_PER_SLOT_MAX:
             print(f"  FAILED   {name}: bytes_per_slot {bps:.1f} "
                   f"> {CHURN_BYTES_PER_SLOT_MAX}")
@@ -239,9 +263,56 @@ def check_churn(current, counters):
             print(f"  FAILED   {name}: completed_frac {frac:.3f} "
                   f"< {CHURN_MIN_COMPLETED_FRAC}")
             failures.append(f"{name} (completed_frac {frac:.3f})")
+        elif rss is not None and rss > CHURN_PEAK_RSS_MAX:
+            # Older baselines predate the counter, so absence is tolerated;
+            # once recorded, the ceiling is hard.
+            print(f"  FAILED   {name}: peak_rss {rss / 1e9:.2f} GB "
+                  f"> {CHURN_PEAK_RSS_MAX / 1e9:.2f} GB")
+            failures.append(f"{name} (peak_rss {rss / 1e9:.2f} GB)")
         else:
+            rss_str = f", peak_rss {rss / 1e9:.2f} GB" if rss else ""
             print(f"  OK       {name}: bytes_per_slot {bps:.1f}, "
-                  f"completed_frac {frac:.3f}")
+                  f"completed_frac {frac:.3f}{rss_str}")
+    return failures
+
+
+def check_million(current, counters):
+    """Gates the 2^20-flow row on its machine-independent memory columns.
+
+    Absent rows are not failures: the PR bench job runs with
+    bench_engine.py --skip-1m and only nightly produces the row. When the
+    row is present, it must prove the concurrency target and stay inside
+    the byte budgets. Returns a list of failure descriptions.
+    """
+    failures = []
+    for name in sorted(current):
+        if not MILLION_ROW_RE.match(name):
+            continue
+        row = counters.get(name, {})
+        peak = row.get("peak_concurrent")
+        bps = row.get("bytes_per_slot")
+        rss = row.get("peak_rss_bytes")
+        if peak is None or bps is None or rss is None:
+            print(f"  MISSING  {name}: no peak_concurrent/bytes_per_slot/"
+                  f"peak_rss_bytes counters")
+            failures.append(f"{name} (counters missing)")
+            continue
+        if peak < MILLION_MIN_CONCURRENT:
+            print(f"  FAILED   {name}: peak_concurrent {peak:.0f} "
+                  f"< {MILLION_MIN_CONCURRENT}")
+            failures.append(f"{name} (peak_concurrent {peak:.0f})")
+        elif bps > MILLION_BYTES_PER_SLOT_MAX:
+            print(f"  FAILED   {name}: bytes_per_slot {bps:.1f} "
+                  f"> {MILLION_BYTES_PER_SLOT_MAX}")
+            failures.append(f"{name} (bytes_per_slot {bps:.1f})")
+        elif rss > MILLION_PEAK_RSS_MAX:
+            print(f"  FAILED   {name}: peak_rss {rss / 1e9:.2f} GB "
+                  f"> {MILLION_PEAK_RSS_MAX / 1e9:.2f} GB")
+            failures.append(f"{name} (peak_rss {rss / 1e9:.2f} GB)")
+        else:
+            print(f"  OK       {name}: peak_concurrent {peak:.0f}, "
+                  f"bytes_per_slot {bps:.1f}, peak_rss {rss / 1e9:.2f} GB, "
+                  f"completed_frac {row.get('completed_frac', 0):.3f}")
     return failures
 
 
@@ -337,6 +408,7 @@ def main():
 
     failures += check_batching(current, cur_counters)
     failures += check_churn(current, cur_counters)
+    failures += check_million(current, cur_counters)
     failures += check_telemetry(current)
 
     if checked == 0 and not failures:

@@ -40,7 +40,8 @@ struct Args {
   double epsilon = 0;
   int pr_flows = 2;
   int sack_flows = 2;
-  int flows = 256;           // many-flows topologies
+  int flows = 256;           // many-flows / fan-dumbbell topologies
+  int fan_width = 8;         // fan-dumbbell relays per side
   double pr_fraction = 0.5;  // many-flows variant mix
   double duration_s = 60;
   double measured_s = 30;
@@ -54,8 +55,12 @@ struct Args {
   double ts_interval_s = 0.1;
   bool validate = false;
   bool telemetry = false;  // per-link reordering taps + summary table
-  std::string workload;       // "", poisson, web, onoff
+  std::string workload;       // "", poisson, web, onoff, million
   double arrival_rate = 100;  // dynamic-flow arrivals per second
+  int max_concurrent = 0;     // workload cap override (0 = kind default)
+  int id_slots = 0;           // workload id-space override (0 = default)
+  // Exit nonzero unless the workload's peak concurrency reaches this.
+  std::size_t expect_concurrent = 0;
   bool no_batch = false;  // run the unbatched one-event-per-op engine
   int par = 0;  // 0 = sequential, >= 1 = parallel harness with N LPs
   int fuzz_count = 0;
@@ -89,7 +94,7 @@ void usage() {
   std::printf(
       "tcppr_sim — run one simulation scenario\n\n"
       "  --topology dumbbell|parking-lot|multipath|many-flows|\n"
-      "             many-flows-graph                  (default dumbbell)\n"
+      "             many-flows-graph|fan-dumbbell     (default dumbbell)\n"
       "  --variant <name>      sender for multipath runs (default tcp-pr)\n"
       "                        names: tcp-pr sack reno newreno tahoe td-fr\n"
       "                        dsack-nm inc-by-1 inc-by-n ewma eifel tcp-door\n"
@@ -97,7 +102,10 @@ void usage() {
       "  --epsilon <e>         multipath spread parameter (default 0)\n"
       "  --pr-flows <n>        dumbbell/parking-lot TCP-PR flows (default 2)\n"
       "  --sack-flows <n>      dumbbell/parking-lot TCP-SACK flows (default 2)\n"
-      "  --flows <n>           many-flows flow count, 1..4096 (default 256)\n"
+      "  --flows <n>           many-flows flow count 1..4096, or the\n"
+      "                        fan-dumbbell concurrency target 1..2^20\n"
+      "                        (default 256)\n"
+      "  --fan-width <n>       fan-dumbbell relay nodes per side (default 8)\n"
       "  --pr-fraction <f>     many-flows TCP-PR share (default 0.5)\n"
       "  --duration <s>        total simulated seconds (default 60)\n"
       "  --measured <s>        trailing measurement window (default 30)\n"
@@ -115,11 +123,19 @@ void usage() {
       "                        every link and print the summary table;\n"
       "                        with --validate the taps carry an exact\n"
       "                        baseline checked against the sketches\n"
-      "  --workload poisson|web|onoff  overlay dynamic flow churn between\n"
-      "                        the scenario's src/dst hosts: flows arrive,\n"
-      "                        transfer and depart (src/workload engine)\n"
+      "  --workload poisson|web|onoff|million  overlay dynamic flow churn\n"
+      "                        between the scenario's src/dst hosts: flows\n"
+      "                        arrive, transfer and depart (src/workload\n"
+      "                        engine). `million` is the tuned steady-state\n"
+      "                        preset whose on/off population pins\n"
+      "                        concurrency at --flows (pair with\n"
+      "                        --topology fan-dumbbell)\n"
       "  --arrival-rate <r>    workload mean arrivals per second\n"
       "                        (default 100; on/off kind ignores it)\n"
+      "  --max-concurrent <n>  workload concurrency cap override\n"
+      "  --id-slots <n>        workload flow-id slot table size override\n"
+      "  --expect-concurrent <n>  exit nonzero unless the workload's peak\n"
+      "                        concurrency reached n (scale gating)\n"
       "  --no-batch            disable the batched hot path (one scheduler\n"
       "                        event per packet op; byte-identical results,\n"
       "                        the perf-comparison baseline). Also applies\n"
@@ -151,6 +167,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.queue = next();
     } else if (flag == "--flows") {
       args.flows = std::atoi(next());
+    } else if (flag == "--fan-width") {
+      args.fan_width = std::atoi(next());
     } else if (flag == "--pr-fraction") {
       args.pr_fraction = std::atof(next());
     } else if (flag == "--epsilon") {
@@ -187,6 +205,13 @@ bool parse(int argc, char** argv, Args& args) {
       args.workload = next();
     } else if (flag == "--arrival-rate") {
       args.arrival_rate = std::atof(next());
+    } else if (flag == "--max-concurrent") {
+      args.max_concurrent = std::atoi(next());
+    } else if (flag == "--id-slots") {
+      args.id_slots = std::atoi(next());
+    } else if (flag == "--expect-concurrent") {
+      args.expect_concurrent =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (flag == "--no-batch") {
       args.no_batch = true;
     } else if (flag == "--par") {
@@ -233,6 +258,26 @@ std::unique_ptr<harness::Scenario> build(const Args& args,
     config.seed = args.seed;
     config.backend = backend;
     return harness::make_many_flows(config);
+  }
+  if (args.topology == "fan-dumbbell") {
+    if (args.flows < 1 || args.flows > harness::FanDumbbellConfig::kMaxFlows) {
+      std::fprintf(stderr, "--flows must be in 1..%d\n",
+                   harness::FanDumbbellConfig::kMaxFlows);
+      return nullptr;
+    }
+    harness::FanDumbbellConfig config = harness::million_fan_config(args.flows);
+    if (args.fan_width < 1) {
+      std::fprintf(stderr, "--fan-width must be >= 1\n");
+      return nullptr;
+    }
+    config.fan_width = args.fan_width;
+    if (args.link_delay_ms > 0) {
+      config.bottleneck_delay = sim::Duration::millis(args.link_delay_ms);
+    }
+    config.pr = pr;
+    config.seed = args.seed;
+    config.backend = backend;
+    return harness::make_fan_dumbbell(config);
   }
   if (args.topology == "dumbbell") {
     harness::DumbbellConfig config;
@@ -365,11 +410,14 @@ int main(int argc, char** argv) {
   // Pure observation — results (and delivery hashes) are byte-identical
   // with or without it. Under --validate the taps also carry the exact
   // per-flow baseline, and every checker sweep becomes a sketch-vs-exact
-  // differential check.
+  // differential check. The baseline is O(flows) per link — at the
+  // million-flow scale row it would dwarf the simulation itself, so past
+  // 2^16 flows validation keeps the sketch bound checks and drops the
+  // exact differential (the checker skips taps without a baseline).
   std::unique_ptr<telemetry::Telemetry> telemetry;
   if (args.telemetry) {
     telemetry::TelemetryConfig tc;
-    tc.tap.exact_baseline = args.validate;
+    tc.tap.exact_baseline = args.validate && args.flows <= (1 << 16);
     telemetry = std::make_unique<telemetry::Telemetry>(scenario->network, tc);
     if (checker) checker->set_telemetry(telemetry.get());
   }
@@ -397,15 +445,24 @@ int main(int argc, char** argv) {
   // order below ensures it).
   std::unique_ptr<workload::WorkloadEngine> engine;
   if (!args.workload.empty()) {
-    const auto kind = parse_workload(args.workload);
-    if (!kind) {
-      std::fprintf(stderr, "unknown workload %s (poisson|web|onoff)\n",
-                   args.workload.c_str());
-      return 1;
-    }
     workload::WorkloadConfig wc;
-    wc.kind = *kind;
-    wc.arrival_rate = args.arrival_rate;
+    if (args.workload == "million") {
+      // Steady-state concurrency pinned at --flows; sized for the
+      // fan-dumbbell plant built above.
+      wc = workload::million_workload_config(args.flows);
+    } else {
+      const auto kind = parse_workload(args.workload);
+      if (!kind) {
+        std::fprintf(stderr,
+                     "unknown workload %s (poisson|web|onoff|million)\n",
+                     args.workload.c_str());
+        return 1;
+      }
+      wc.kind = *kind;
+      wc.arrival_rate = args.arrival_rate;
+    }
+    if (args.max_concurrent > 0) wc.max_concurrent = args.max_concurrent;
+    if (args.id_slots > 0) wc.id_slots = args.id_slots;
     wc.seed = args.seed ^ 0xC4u;
     engine = std::make_unique<workload::WorkloadEngine>(*scenario, wc,
                                                         psim.get());
@@ -572,6 +629,22 @@ int main(int argc, char** argv) {
       std::fputs(checker->report().c_str(), stderr);
       return 1;
     }
+  }
+  if (args.expect_concurrent > 0) {
+    if (engine == nullptr) {
+      std::fprintf(stderr,
+                   "--expect-concurrent requires a --workload overlay\n");
+      return 1;
+    }
+    const std::size_t peak = engine->stats().peak_active;
+    if (peak < args.expect_concurrent) {
+      std::fprintf(stderr,
+                   "FAIL: peak concurrency %zu below expected %zu\n", peak,
+                   args.expect_concurrent);
+      return 1;
+    }
+    std::printf("peak concurrency %zu >= expected %zu\n", peak,
+                args.expect_concurrent);
   }
   return 0;
 }
