@@ -4,6 +4,8 @@
 #include <iterator>
 #include <utility>
 
+#include "net/node.hpp"
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 #include "validate/invariants.hpp"
 
@@ -35,6 +37,7 @@ PartitionConfig make_partition_config(const Scenario& scenario,
 
 ParallelSim::ParallelSim(Scenario& scenario, const ParallelRunConfig& config)
     : scenario_(scenario),
+      config_(config),
       partition_(scenario.network, make_partition_config(scenario, config)) {
   // Even when the partition degenerates to one LP the scenario still runs
   // on a stamped shard: stamp order is partition-independent, so digests
@@ -50,6 +53,7 @@ ParallelSim::ParallelSim(Scenario& scenario, const ParallelRunConfig& config)
         std::make_unique<sim::Scheduler>(scenario_.backend));
     sim::Scheduler* shard = scenario_.lp_scheds.back().get();
     shard->enable_seq_stamping();
+    if (config_.adaptive) shard->enable_entity_fire_counts();
     shards_.push_back(shard);
     pools_.push_back(net::PacketPool::create());
     if (nw.pump() != nullptr) {
@@ -61,34 +65,15 @@ ParallelSim::ParallelSim(Scenario& scenario, const ParallelRunConfig& config)
       lp_tracers_.back()->add_sink(sinks_.back().get());
     }
   }
+  snaps_.resize(static_cast<std::size_t>(k));
+  rolled_.assign(static_cast<std::size_t>(k), 0);
+  lp_events_.assign(static_cast<std::size_t>(k), 0);
+  lp_prev_processed_.assign(static_cast<std::size_t>(k), 0);
+  lp_rollbacks_.assign(static_cast<std::size_t>(k), 0);
+  lp_snapshot_bytes_.assign(static_cast<std::size_t>(k), 0);
+  lp_cross_carry_.assign(static_cast<std::size_t>(k), 0);
 
-  for (int v = 0; v < nw.node_count(); ++v) {
-    const int lp = lp_of(static_cast<net::NodeId>(v));
-    nw.node(static_cast<net::NodeId>(v))
-        .set_tracer(lp_tracers_[static_cast<std::size_t>(lp)].get(),
-                    shards_[static_cast<std::size_t>(lp)]);
-  }
-  // A link's queue/transmit/propagation events all run on its *source*
-  // LP; only the final delivery may cross (mailbox below).
-  for (const auto& link : nw.links()) {
-    const int lp = lp_of(link->from());
-    link->set_scheduler(*shards_[static_cast<std::size_t>(lp)]);
-    link->set_packet_pool(pools_[static_cast<std::size_t>(lp)]);
-    link->set_tracer(lp_tracers_[static_cast<std::size_t>(lp)].get());
-    if (!pumps_.empty()) {
-      link->set_pump(pumps_[static_cast<std::size_t>(lp)].get());
-    }
-  }
-  for (net::Link* cut : partition_.cut_links()) {
-    mailboxes_.emplace_back();
-    Mailbox& mb = mailboxes_.back();
-    mb.link = cut;
-    mb.dst_node = &nw.node(cut->to());
-    mb.dst_lp = lp_of(cut->to());
-    cut->set_remote_channel(&mb.channel);
-    cut_edges_.push_back(
-        sim::ParallelEngine::CutEdge{lp_of(cut->from()), cut->prop_delay()});
-  }
+  wire_partition();
 
   for (const auto& s : scenario_.senders) {
     s->rebind_scheduler(shard_for(s->local_node()));
@@ -119,8 +104,8 @@ ParallelSim::ParallelSim(Scenario& scenario, const ParallelRunConfig& config)
                                sim::Scheduler::kStampEntityBits)));
   // Anything left on the build scheduler was scheduled outside
   // Scenario::schedule_action and would silently never run: the scenario
-  // uses a feature the parallel mode does not support (queue probes /
-  // FlowStats pollers, app-layer sources, short-flow generators).
+  // uses a feature the parallel mode does not support (observability
+  // probes, app-layer sources, short-flow generators).
   TCPPR_CHECK(scenario_.sched.pending_count() == 0);
 }
 
@@ -140,6 +125,50 @@ ParallelSim::~ParallelSim() {
   }
 }
 
+void ParallelSim::wire_partition() {
+  // Construction-time wiring: links are idle, so the checked setters
+  // apply. (Migration re-wiring uses the rebind_for_migration variants —
+  // state restore puts the in-flight traffic back afterwards.)
+  net::Network& nw = scenario_.network;
+  for (int v = 0; v < nw.node_count(); ++v) {
+    const int lp = lp_of(static_cast<net::NodeId>(v));
+    nw.node(static_cast<net::NodeId>(v))
+        .set_tracer(lp_tracers_[static_cast<std::size_t>(lp)].get(),
+                    shards_[static_cast<std::size_t>(lp)]);
+  }
+  // A link's queue/transmit/propagation events all run on its *source*
+  // LP; only the final delivery may cross (mailbox + injected ring armed
+  // on the destination shard, with the destination LP's pool).
+  for (const auto& link : nw.links()) {
+    const int lp = lp_of(link->from());
+    const int dst = lp_of(link->to());
+    link->set_scheduler(*shards_[static_cast<std::size_t>(lp)]);
+    link->set_packet_pool(pools_[static_cast<std::size_t>(lp)]);
+    link->set_tracer(lp_tracers_[static_cast<std::size_t>(lp)].get());
+    link->set_injection_scheduler(shards_[static_cast<std::size_t>(dst)],
+                                  pools_[static_cast<std::size_t>(dst)]);
+    if (!pumps_.empty()) {
+      link->set_pump(pumps_[static_cast<std::size_t>(lp)].get());
+    }
+  }
+  build_mailboxes();
+}
+
+void ParallelSim::build_mailboxes() {
+  for (net::Link* cut : partition_.cut_links()) {
+    mailboxes_.emplace_back();
+    Mailbox& mb = mailboxes_.back();
+    mb.link = cut;
+    mb.dst_node = &scenario_.network.node(cut->to());
+    mb.src_lp = lp_of(cut->from());
+    mb.dst_lp = lp_of(cut->to());
+    mb.lookahead = cut->prop_delay();
+    cut->set_remote_channel(&mb.channel);
+    cut_edges_.push_back(
+        sim::ParallelEngine::CutEdge{mb.src_lp, mb.lookahead});
+  }
+}
+
 sim::Scheduler& ParallelSim::shard_for(net::NodeId node) {
   return *shards_[static_cast<std::size_t>(lp_of(node))];
 }
@@ -152,7 +181,7 @@ void ParallelSim::set_checker(validate::InvariantChecker* checker) {
 }
 
 net::LinkPump::Stats ParallelSim::pump_stats() const {
-  net::LinkPump::Stats total;
+  net::LinkPump::Stats total = pump_stats_carry_;
   for (const auto& pump : pumps_) {
     const net::LinkPump::Stats& s = pump->stats();
     total.events += s.events;
@@ -164,7 +193,7 @@ net::LinkPump::Stats ParallelSim::pump_stats() const {
 }
 
 net::LinkPump::RunHistogram ParallelSim::pump_histogram() const {
-  net::LinkPump::RunHistogram total{};
+  net::LinkPump::RunHistogram total = pump_hist_carry_;
   for (const auto& pump : pumps_) {
     const net::LinkPump::RunHistogram h = pump->aggregate_histogram();
     for (std::size_t i = 0; i < total.size(); ++i) total[i] += h[i];
@@ -183,18 +212,101 @@ std::uint64_t ParallelSim::external_in_flight() const {
   for (const Mailbox& mb : mailboxes_) {
     total += mb.channel.pushed - mb.channel.executed;
   }
+  for (const auto& link : scenario_.network.links()) {
+    total += link->injected_pending();
+  }
   return total;
 }
 
+std::vector<ParallelSim::LpReport> ParallelSim::lp_reports() const {
+  std::vector<LpReport> out(shards_.size());
+  std::uint64_t busiest = 0;
+  for (const std::uint64_t e : lp_events_) busiest = std::max(busiest, e);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].events = lp_events_[i];
+    out[i].utilization =
+        busiest > 0 ? static_cast<double>(lp_events_[i]) /
+                          static_cast<double>(busiest)
+                    : 0.0;
+    out[i].cross_pushed = lp_cross_carry_[i];
+    out[i].rollbacks = lp_rollbacks_[i];
+    out[i].snapshot_bytes = lp_snapshot_bytes_[i];
+  }
+  for (const Mailbox& mb : mailboxes_) {
+    out[static_cast<std::size_t>(mb.src_lp)].cross_pushed +=
+        mb.channel.pushed;
+  }
+  return out;
+}
+
+void ParallelSim::publish_metrics(obs::MetricRegistry& registry,
+                                  sim::TimePoint t) const {
+  const auto gauge = [&](const char* name) {
+    return registry.intern(name, obs::MetricKind::kGauge);
+  };
+  const obs::MetricId lp_events = gauge("par.lp.events");
+  const obs::MetricId lp_util = gauge("par.lp.utilization");
+  const obs::MetricId lp_cross = gauge("par.lp.cross_pushed");
+  const obs::MetricId lp_rb = gauge("par.lp.rollbacks");
+  const obs::MetricId lp_snap = gauge("par.lp.snapshot_bytes");
+  const auto reports = lp_reports();
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    // The flow label carries the LP index: one labeled series per LP, the
+    // same trick the per-flow probes use.
+    const auto lp = static_cast<net::FlowId>(i);
+    registry.set(t, lp_events, lp, static_cast<double>(reports[i].events));
+    registry.set(t, lp_util, lp, reports[i].utilization);
+    registry.set(t, lp_cross, lp,
+                 static_cast<double>(reports[i].cross_pushed));
+    registry.set(t, lp_rb, lp, static_cast<double>(reports[i].rollbacks));
+    registry.set(t, lp_snap, lp,
+                 static_cast<double>(reports[i].snapshot_bytes));
+  }
+  registry.set(t, gauge("par.windows"), net::kInvalidFlow,
+               static_cast<double>(windows_));
+  registry.set(t, gauge("par.spec_windows"), net::kInvalidFlow,
+               static_cast<double>(spec_windows_));
+  registry.set(t, gauge("par.rollback_windows"), net::kInvalidFlow,
+               static_cast<double>(rollback_windows_));
+  registry.set(t, gauge("par.rollbacks"), net::kInvalidFlow,
+               static_cast<double>(rollbacks_));
+  registry.set(t, gauge("par.repartitions"), net::kInvalidFlow,
+               static_cast<double>(repartitions_));
+  registry.set(t, gauge("par.speculation_w_us"), net::kInvalidFlow,
+               static_cast<double>(last_w_.as_nanos()) / 1e3);
+}
+
 void ParallelSim::run_until(sim::TimePoint end) {
+  sim::ParallelEngine::EngineConfig ec = config_.engine;
+  ec.optimistic = config_.optimistic;
   sim::ParallelEngine::Hooks hooks;
   hooks.exchange = [this] { return exchange(); };
   hooks.external_backlog = [this] { return external_in_flight(); };
   hooks.at_barrier = [this](sim::TimePoint h) { at_barrier(h); };
-  sim::ParallelEngine engine(shards_, cut_edges_, std::move(hooks));
+  if (config_.adaptive) {
+    hooks.maybe_repartition =
+        [this](std::vector<sim::ParallelEngine::CutEdge>& cuts) {
+          return maybe_repartition(cuts);
+        };
+  }
+  if (config_.optimistic) {
+    hooks.can_speculate = [this] { return can_speculate(); };
+    hooks.snapshot = [this](int lp) { snapshot_lp(lp); };
+    hooks.settle = [this](sim::TimePoint h, sim::TimePoint bound,
+                          const std::vector<sim::Scheduler::SpecResult>& res) {
+      return settle(h, bound, res);
+    };
+  }
+  sim::ParallelEngine engine(shards_, cut_edges_, std::move(hooks), ec);
   engine.run_until(end);
   windows_ += engine.windows();
   exchanged_ += engine.exchanged();
+  spec_windows_ += engine.spec_windows();
+  rollback_windows_ += engine.rollback_windows();
+  rollbacks_ += engine.rollbacks();
+  repartitions_ += engine.repartitions();
+  if (config_.optimistic) last_w_ = engine.current_w();
+  if (tracing_) flush_traces(sim::TimePoint::max());
 }
 
 std::uint64_t ParallelSim::exchange() {
@@ -204,24 +316,12 @@ std::uint64_t ParallelSim::exchange() {
   for (Mailbox& mb : mailboxes_) {
     auto& buf = mb.channel.buf;
     if (buf.empty()) continue;
-    sim::Scheduler& dst = *shards_[static_cast<std::size_t>(mb.dst_lp)];
-    auto& pool = pools_[static_cast<std::size_t>(mb.dst_lp)];
-    // One free-list splice covers the whole drain instead of a pool
-    // round-trip per message.
-    ref_scratch_.resize(buf.size());
-    pool->alloc_n(buf.size(), ref_scratch_.data());
-    std::size_t ri = 0;
     for (net::CrossLinkMsg& msg : buf) {
-      // {link, pooled packet} is 40 bytes: the injected event stays inside
-      // the scheduler's inline callback buffer. Routing through the link
-      // keeps delivery observation (telemetry taps) at one layer for every
-      // engine mode.
-      dst.schedule_at_stamped(
-          msg.at, msg.stamp,
-          [link = mb.link,
-           p = pool->adopt(ref_scratch_[ri++], std::move(msg.pkt))]() mutable {
-            link->deliver_injected(std::move(p));
-          });
+      // The ring entry arms one replay-safe event on the destination
+      // shard at the stamp minted on the source shard — exactly the op
+      // position the sequential delivery-schedule call occupies.
+      mb.link->queue_injected(msg.at, msg.stamp, std::move(msg.pkt));
+      ++mb.channel.executed;
       ++injected;
     }
     buf.clear();
@@ -230,20 +330,37 @@ std::uint64_t ParallelSim::exchange() {
 }
 
 void ParallelSim::at_barrier(sim::TimePoint h) {
-  if (tracing_) flush_traces();
+  last_barrier_ = h;
+  // Committed per-LP event deltas (speculative events only show up once
+  // committed — a rolled-back leg restores processed_count below the next
+  // sample, never below the previous one).
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::uint64_t p = shards_[i]->processed_count();
+    lp_events_[i] += p - lp_prev_processed_[i];
+    lp_prev_processed_[i] = p;
+  }
+  if (tracing_) flush_traces(h);
   // Advance the (empty) build scheduler's clock so wall-clock readers —
   // violation timestamps, stats printed mid-run — see the barrier time.
   scenario_.sched.run_until(h);
   if (checker_ != nullptr) checker_->check_now();
 }
 
-void ParallelSim::flush_traces() {
+void ParallelSim::flush_traces(sim::TimePoint below) {
   merge_.clear();
   for (auto& sink : sinks_) {
     auto& buf = sink->buffer();
+    // Record times are nondecreasing per sink, so the committed region is
+    // a prefix: everything below the barrier is final (every shard has
+    // executed past it), everything at or after may still roll back.
+    const auto split = std::partition_point(
+        buf.begin(), buf.end(), [below](const BufferSink::Keyed& k) {
+          return k.rec.time < below;
+        });
+    if (split == buf.begin()) continue;
     merge_.insert(merge_.end(), std::make_move_iterator(buf.begin()),
-                  std::make_move_iterator(buf.end()));
-    buf.clear();
+                  std::make_move_iterator(split));
+    buf.erase(buf.begin(), split);
   }
   std::sort(merge_.begin(), merge_.end(),
             [](const BufferSink::Keyed& a, const BufferSink::Keyed& b) {
@@ -254,6 +371,361 @@ void ParallelSim::flush_traces() {
             });
   trace::Tracer& root = scenario_.network.tracer();
   for (const BufferSink::Keyed& k : merge_) root.dispatch(k.rec);
+}
+
+// --- bounded optimism ------------------------------------------------------
+
+bool ParallelSim::can_speculate() const {
+  // Telemetry taps observe deliveries as they execute and keep windowed
+  // aggregates that cannot be rolled back; sit speculation out entirely
+  // when any link carries one.
+  for (const auto& link : scenario_.network.links()) {
+    if (link->has_telemetry_tap()) return false;
+  }
+  for (const sim::Scheduler* s : shards_) {
+    if (!s->all_pending_replay_safe()) return false;
+  }
+  return true;
+}
+
+void ParallelSim::serialize_lp(int lp, util::StateIO& io) {
+  // One fixed visitation order drives both directions. Everything whose
+  // trajectory executes on LP `lp`: its nodes, the links it sources, the
+  // injected rings it receives, its endpoint agents, its pump, and the
+  // push counters of the mailboxes it feeds.
+  net::Network& nw = scenario_.network;
+  for (int v = 0; v < nw.node_count(); ++v) {
+    if (lp_of(static_cast<net::NodeId>(v)) != lp) continue;
+    nw.node(static_cast<net::NodeId>(v)).state(io);
+  }
+  for (const auto& link : nw.links()) {
+    if (lp_of(link->from()) == lp) link->state(io);
+  }
+  for (const auto& link : nw.links()) {
+    if (lp_of(link->to()) == lp) link->injected_state(io);
+  }
+  for (const auto& s : scenario_.senders) {
+    if (lp_of(s->local_node()) == lp) s->state(io);
+  }
+  for (const auto& s : scenario_.cross_senders) {
+    if (lp_of(s->local_node()) == lp) s->state(io);
+  }
+  for (const auto& r : scenario_.receivers) {
+    if (lp_of(r->local_node()) == lp) r->state(io);
+  }
+  for (const auto& r : scenario_.cross_receivers) {
+    if (lp_of(r->local_node()) == lp) r->state(io);
+  }
+  if (!pumps_.empty()) pumps_[static_cast<std::size_t>(lp)]->state(io);
+  for (Mailbox& mb : mailboxes_) {
+    // Only `pushed` travels: `executed` is a barrier-only counter (the
+    // snapshot is taken right after an exchange, when the two agree), and
+    // a retraction clears the buffer rather than rewinding it.
+    if (mb.src_lp == lp) io.pod(mb.channel.pushed);
+  }
+}
+
+void ParallelSim::snapshot_lp(int lp) {
+  LpSnapshot& s = snaps_[static_cast<std::size_t>(lp)];
+  shards_[static_cast<std::size_t>(lp)]->checkpoint(s.cp, s.stamp_slots);
+  util::StateIO io(s.bytes, /*saving=*/true);
+  serialize_lp(lp, io);
+  if (tracing_) {
+    s.sink_len = sinks_[static_cast<std::size_t>(lp)]->buffer().size();
+    s.sink_next_idx = sinks_[static_cast<std::size_t>(lp)]->next_idx();
+  }
+  lp_snapshot_bytes_[static_cast<std::size_t>(lp)] = s.bytes.size();
+}
+
+void ParallelSim::restore_lp(int lp) {
+  LpSnapshot& s = snaps_[static_cast<std::size_t>(lp)];
+  // Scheduler first: every pending event dies and the stamp mints rewind,
+  // then the component restore re-seats the regenerable events (timer
+  // shots, pump carrier, ring pops) against the restored clock.
+  shards_[static_cast<std::size_t>(lp)]->restore(s.cp, s.stamp_slots);
+  util::StateIO io(s.bytes, /*saving=*/false);
+  serialize_lp(lp, io);
+  TCPPR_CHECK(io.done());
+  if (!pumps_.empty()) {
+    pumps_[static_cast<std::size_t>(lp)]->reseed_after_restore();
+  }
+  if (tracing_) {
+    sinks_[static_cast<std::size_t>(lp)]->truncate(s.sink_len,
+                                                   s.sink_next_idx);
+  }
+  ++lp_rollbacks_[static_cast<std::size_t>(lp)];
+  if (config_.corrupt_snapshot_for_test && !corruption_done_) {
+    for (const auto& r : scenario_.receivers) {
+      if (lp_of(r->local_node()) == lp && r->delivery_validation_enabled()) {
+        r->corrupt_delivered_hash_for_test();
+        corruption_done_ = true;
+        break;
+      }
+    }
+  }
+}
+
+int ParallelSim::settle(sim::TimePoint h, sim::TimePoint bound,
+                        const std::vector<sim::Scheduler::SpecResult>& res) {
+  (void)bound;
+  const std::size_t n = shards_.size();
+  // Commit key per LP: the furthest event it executed speculatively, or
+  // (h, 0) when it had nothing past the horizon. An (h, 0) LP can never
+  // be straggler-hit — every cross arrival lands at >= h + lookahead.
+  struct Key {
+    sim::TimePoint t;
+    std::uint64_t seq = 0;
+  };
+  std::vector<Key> commit(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    commit[i] =
+        res[i].events > 0 ? Key{res[i].last_time, res[i].last_seq} : Key{h, 0};
+  }
+  rolled_.assign(n, 0);
+  if (config_.corrupt_snapshot_for_test && !corruption_done_) {
+    // Mutation self-test: claim the LP hosting the first validating
+    // receiver as straggler-hit. Restoring an unrolled snapshot is a
+    // semantic no-op — except for the checksum bit restore_lp flips,
+    // which the validation layer must catch.
+    for (const auto& r : scenario_.receivers) {
+      if (r->delivery_validation_enabled()) {
+        rolled_[static_cast<std::size_t>(lp_of(r->local_node()))] = 1;
+        break;
+      }
+    }
+  }
+  // Earliest possible future activity per LP. An unrolled LP executed
+  // everything below the bound, so only a message delivered at this
+  // settle can re-activate it earlier; any buffered message lowers its
+  // destination's bound (even one whose source ends up rolled — the
+  // over-approximation can only roll more LPs, which is sound, never
+  // fewer). A rolled LP replays from h.
+  std::vector<sim::TimePoint> earliest(n, bound);
+  for (const Mailbox& mb : mailboxes_) {
+    for (const net::CrossLinkMsg& m : mb.channel.buf) {
+      const auto dst = static_cast<std::size_t>(mb.dst_lp);
+      if (m.at < earliest[dst]) earliest[dst] = m.at;
+    }
+  }
+  // Monotone fixpoint: once an LP rolls it stays rolled, so each pass can
+  // only add members and the loop terminates after at most n sweeps.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Mailbox& mb : mailboxes_) {
+      const auto src = static_cast<std::size_t>(mb.src_lp);
+      const auto dst = static_cast<std::size_t>(mb.dst_lp);
+      if (rolled_[dst] != 0) continue;
+      // Anything the source may still send arrives at or after its
+      // earliest future activity plus the cut's lookahead; roll the
+      // destination if it committed into that reachable future.
+      const sim::TimePoint src_from =
+          rolled_[src] != 0 ? h : earliest[src];
+      bool hit = commit[dst].t >= src_from + mb.lookahead;
+      if (rolled_[src] == 0) {
+        // A message the source already sent may have landed in the
+        // destination's committed past (a straggler).
+        for (const net::CrossLinkMsg& m : mb.channel.buf) {
+          if (hit) break;
+          hit = m.at < commit[dst].t ||
+                (m.at == commit[dst].t && m.stamp <= commit[dst].seq);
+        }
+      }
+      if (hit) {
+        rolled_[dst] = 1;
+        changed = true;
+      }
+    }
+  }
+  int n_rolled = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rolled_[i] != 0) {
+      restore_lp(static_cast<int>(i));
+      ++n_rolled;
+    }
+  }
+  // Mailbox resolution: retract everything a rolled source sent (its
+  // pushed counter rewound with its snapshot; the replay re-mints
+  // byte-identical messages at the same stamps), deliver the rest. A
+  // rolled destination sits at its snapshot clock <= h <= arrival; an
+  // unrolled one at its commit time, below every surviving key.
+  for (Mailbox& mb : mailboxes_) {
+    auto& buf = mb.channel.buf;
+    if (buf.empty()) continue;
+    if (rolled_[static_cast<std::size_t>(mb.src_lp)] != 0) {
+      buf.clear();
+      continue;
+    }
+    for (net::CrossLinkMsg& m : buf) {
+      mb.link->queue_injected(m.at, m.stamp, std::move(m.pkt));
+      ++mb.channel.executed;
+    }
+    buf.clear();
+  }
+  return n_rolled;
+}
+
+// --- adaptive repartitioning -----------------------------------------------
+
+bool ParallelSim::maybe_repartition(
+    std::vector<sim::ParallelEngine::CutEdge>& cuts) {
+  ++windows_since_repart_;
+  if (windows_since_repart_ < config_.repartition_cooldown) return false;
+  for (const sim::Scheduler* s : shards_) {
+    // Migration re-seats every pending event from component state, so all
+    // of them must be regenerable; and no shard clock may sit past the
+    // barrier (committed speculation parks clocks ahead — re-homing a
+    // component into such a shard's past would be illegal).
+    if (!s->all_pending_replay_safe()) return false;
+    if (s->now() > last_barrier_) return false;
+  }
+  net::Network& nw = scenario_.network;
+  std::vector<double> weights(static_cast<std::size_t>(nw.node_count()), 0.0);
+  double total = 0.0;
+  for (const sim::Scheduler* s : shards_) {
+    const std::vector<std::uint64_t>& fires = s->entity_fires();
+    const std::size_t lim = std::min(fires.size(), weights.size());
+    for (std::size_t v = 0; v < lim; ++v) {
+      weights[v] += static_cast<double>(fires[v]);
+      total += static_cast<double>(fires[v]);
+    }
+  }
+  if (total < static_cast<double>(config_.repartition_min_events)) {
+    return false;
+  }
+  const auto reset = [this] {
+    for (sim::Scheduler* s : shards_) s->reset_entity_fires();
+    windows_since_repart_ = 0;
+  };
+  std::vector<double> lp_load(shards_.size(), 0.0);
+  for (int v = 0; v < nw.node_count(); ++v) {
+    lp_load[static_cast<std::size_t>(lp_of(static_cast<net::NodeId>(v)))] +=
+        weights[static_cast<std::size_t>(v)];
+  }
+  const double mean = total / static_cast<double>(shards_.size());
+  const double busiest = *std::max_element(lp_load.begin(), lp_load.end());
+  if (busiest <= config_.repartition_skew * mean) {
+    // Inside the hysteresis band: balanced enough, keep the assignment
+    // and restart the measurement window.
+    reset();
+    return false;
+  }
+  PartitionConfig pc;
+  // Never ask for more LPs than we allocated shards for: a re-run of the
+  // partitioner can only reuse the existing shard set.
+  pc.target_lps = static_cast<int>(shards_.size());
+  pc.min_cut_lookahead = config_.min_cut_lookahead;
+  pc.node_extra_weight = std::move(weights);
+  Partition next(nw, pc);
+  bool same = next.lp_count() == partition_.lp_count();
+  for (int v = 0; same && v < nw.node_count(); ++v) {
+    same = next.lp_of(static_cast<net::NodeId>(v)) ==
+           lp_of(static_cast<net::NodeId>(v));
+  }
+  if (same) {
+    reset();
+    return false;
+  }
+  migrate_to(std::move(next));
+  cuts = cut_edges_;
+  reset();
+  return true;
+}
+
+void ParallelSim::serialize_world(util::StateIO& io) {
+  // Partition-independent order (node id, network link order, scenario
+  // agent order): the byte image written under the old assignment reads
+  // back identically under the new one.
+  net::Network& nw = scenario_.network;
+  for (int v = 0; v < nw.node_count(); ++v) {
+    nw.node(static_cast<net::NodeId>(v)).state(io);
+  }
+  for (const auto& link : nw.links()) link->state(io);
+  for (const auto& link : nw.links()) link->injected_state(io);
+  for (const auto& s : scenario_.senders) s->state(io);
+  for (const auto& s : scenario_.cross_senders) s->state(io);
+  for (const auto& r : scenario_.receivers) r->state(io);
+  for (const auto& r : scenario_.cross_receivers) r->state(io);
+}
+
+void ParallelSim::migrate_to(Partition next) {
+  net::Network& nw = scenario_.network;
+  // 1. Whole-world byte image. Pumps and mailbox counters stay out: pump
+  // counters carry over explicitly below, and mailboxes are rebuilt at
+  // zero (pushed == executed and empty buffers at a barrier).
+  {
+    util::StateIO io(migrate_buf_, /*saving=*/true);
+    serialize_world(io);
+  }
+  // 2. Wipe every shard's pending set. Checkpoint-then-restore of the
+  // same state destroys the events but keeps clocks, counters and stamp
+  // mints; the component restore in step 5 regenerates the events — each
+  // into its new shard.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    LpSnapshot& scratch = snaps_[i];
+    shards_[i]->checkpoint(scratch.cp, scratch.stamp_slots);
+    shards_[i]->restore(scratch.cp, scratch.stamp_slots);
+  }
+  // 3. Old wiring down.
+  if (!pumps_.empty()) {
+    for (const auto& link : nw.links()) link->detach_pump();
+    pump_stats_carry_ = pump_stats();
+    pump_hist_carry_ = pump_histogram();
+    for (std::size_t i = 0; i < pumps_.size(); ++i) {
+      pumps_[i] = std::make_unique<net::LinkPump>(*shards_[i]);
+    }
+  }
+  for (Mailbox& mb : mailboxes_) {
+    lp_cross_carry_[static_cast<std::size_t>(mb.src_lp)] += mb.channel.pushed;
+    mb.link->set_remote_channel(nullptr);
+  }
+  mailboxes_.clear();
+  cut_edges_.clear();
+  // 4. Adopt the new assignment and rewire.
+  partition_ = std::move(next);
+  for (int v = 0; v < nw.node_count(); ++v) {
+    const int lp = lp_of(static_cast<net::NodeId>(v));
+    nw.node(static_cast<net::NodeId>(v))
+        .set_tracer(lp_tracers_[static_cast<std::size_t>(lp)].get(),
+                    shards_[static_cast<std::size_t>(lp)]);
+  }
+  for (const auto& link : nw.links()) {
+    const int lp = lp_of(link->from());
+    const int dst = lp_of(link->to());
+    link->rebind_for_migration(*shards_[static_cast<std::size_t>(lp)]);
+    link->set_packet_pool(pools_[static_cast<std::size_t>(lp)]);
+    link->set_tracer(lp_tracers_[static_cast<std::size_t>(lp)].get());
+    link->set_injection_scheduler(shards_[static_cast<std::size_t>(dst)],
+                                  pools_[static_cast<std::size_t>(dst)]);
+    if (!pumps_.empty()) {
+      link->attach_pump_for_migration(
+          pumps_[static_cast<std::size_t>(lp)].get());
+    }
+  }
+  build_mailboxes();
+  for (const auto& s : scenario_.senders) {
+    s->migrate_to_shard(shard_for(s->local_node()));
+  }
+  for (const auto& s : scenario_.cross_senders) {
+    s->migrate_to_shard(shard_for(s->local_node()));
+  }
+  for (const auto& r : scenario_.receivers) {
+    r->migrate_to_shard(shard_for(r->local_node()));
+  }
+  for (const auto& r : scenario_.cross_receivers) {
+    r->migrate_to_shard(shard_for(r->local_node()));
+  }
+  // 5. Restore: every regenerable event re-seats against its new shard
+  // (all pending keys are at or past the barrier, which every shard clock
+  // sits at or before — checked by the migration gate).
+  {
+    util::StateIO io(migrate_buf_, /*saving=*/false);
+    serialize_world(io);
+    TCPPR_CHECK(io.done());
+  }
+  if (!pumps_.empty()) {
+    for (const auto& pump : pumps_) pump->reseed_after_restore();
+  }
 }
 
 }  // namespace tcppr::harness

@@ -568,4 +568,85 @@ FanDumbbellConfig million_fan_config(int flows) {
   return fc;
 }
 
+std::unique_ptr<Scenario> make_clustered_mesh(
+    const ClusteredMeshConfig& config) {
+  TCPPR_CHECK(config.clusters >= 2);
+  TCPPR_CHECK(config.flows >= config.clusters &&
+              config.flows <= ClusteredMeshConfig::kMaxFlows);
+  TCPPR_CHECK(config.cut_delay > config.min_cut_lookahead());
+  TCPPR_CHECK(config.access_delay <= config.min_cut_lookahead());
+  auto s = std::make_unique<Scenario>(config.backend);
+  net::Network& nw = s->network;
+  const int k = config.clusters;
+  const int local_flows = config.flows / k;
+
+  struct Cluster {
+    net::NodeId src, r1, r2, dst;
+  };
+  std::vector<Cluster> cl(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    cl[c].src = nw.add_node();
+    cl[c].r1 = nw.add_node();
+    cl[c].r2 = nw.add_node();
+    cl[c].dst = nw.add_node();
+
+    const double scale =
+        c == config.hot_cluster ? config.hot_cluster_bw_scale : 1.0;
+    const double local_bw = config.bw_per_flow_bps * scale * local_flows;
+
+    net::LinkConfig access;
+    access.bandwidth_bps = config.access_bw_headroom * local_bw;
+    access.delay = config.access_delay;
+    access.queue_limit_packets =
+        static_cast<std::size_t>(local_flows) * 8 + 500;
+    nw.add_duplex_link(cl[c].src, cl[c].r1, access);
+    nw.add_duplex_link(cl[c].r2, cl[c].dst, access);
+
+    net::LinkConfig local;
+    local.bandwidth_bps = local_bw;
+    local.delay = config.local_delay;
+    // Sub-millisecond RTTs make the queue the whole pipe; a fixed small
+    // queue keeps the local loops in the usual congestion regime.
+    local.queue_limit_packets = 100;
+    auto [fwd, rev] = nw.add_duplex_link(cl[c].r1, cl[c].r2, local);
+    s->bottlenecks.push_back(fwd);
+    (void)rev;
+  }
+  // Ring of cut links between neighboring clusters' routers.
+  net::LinkConfig cut;
+  cut.bandwidth_bps = config.cut_bw_bps;
+  cut.delay = config.cut_delay;
+  cut.queue_limit_packets = 200;
+  for (int c = 0; c < k; ++c) {
+    nw.add_duplex_link(cl[c].r2, cl[(c + 1) % k].r1, cut);
+  }
+  nw.compute_static_routes();
+  s->src_host = cl[0].src;
+  s->dst_host = cl[0].dst;
+
+  sim::Rng rng(config.seed);
+  const double stagger_s = config.max_start_stagger.as_seconds();
+  net::FlowId next_flow = 1;
+  // Local flows cluster-by-cluster, PR/SACK interleaved within each.
+  for (int c = 0; c < k; ++c) {
+    int pr_assigned = 0;
+    for (int i = 0; i < local_flows; ++i) {
+      const TcpVariant variant =
+          variant_for(i, config.pr_fraction, pr_assigned);
+      const auto start =
+          sim::TimePoint::from_seconds(rng.uniform(0.0, stagger_s));
+      s->add_flow(variant, cl[c].src, cl[c].dst, next_flow++, config.tcp,
+                  config.pr, start);
+    }
+  }
+  for (int x = 0; x < config.cross_flows; ++x) {
+    const int c = x % k;
+    const auto start =
+        sim::TimePoint::from_seconds(rng.uniform(0.0, stagger_s));
+    s->add_cross_flow(cl[c].src, cl[(c + 1) % k].dst, 100000 + next_flow++,
+                      config.tcp, start);
+  }
+  return s;
+}
+
 }  // namespace tcppr::harness

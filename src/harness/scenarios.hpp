@@ -257,4 +257,51 @@ std::unique_ptr<Scenario> make_fan_dumbbell(const FanDumbbellConfig& config);
 // workload::million_workload_config(flows).
 FanDumbbellConfig million_fan_config(int flows);
 
+// A low-lookahead parallel plant: `clusters` local dumbbells
+//
+//   src_c ── r1_c ── r2_c ── dst_c        (short intra-cluster delays)
+//        \____ local flows ____/
+//
+// joined into a ring by short cut links (r2_c — r1_{c+1}). Intra-cluster
+// delays sit at or below min_cut_lookahead() so the partitioner contracts
+// each cluster into one atom and the only cuttable links are the ring
+// links — the safe horizon is their (deliberately small) delay, which is
+// the regime where conservative windows are tiny and bounded-optimism
+// speculation pays. Cross flows (SACK, one per adjacent cluster pair,
+// round-robin) put real straggler traffic on the cuts; zero keeps them
+// silent. hot_cluster_bw_scale skews one cluster's event rate without
+// changing its host count — invisible to the static partition weights,
+// visible to the measured ones (the adaptive repartitioning testbed).
+struct ClusteredMeshConfig {
+  static constexpr int kMaxFlows = 4096;
+
+  int clusters = 4;
+  int flows = 256;           // total, split evenly across clusters
+  double pr_fraction = 0.5;  // of each cluster's local flows
+  int cross_flows = 0;       // SACK flows src_c -> dst_{c+1 mod k}
+
+  double bw_per_flow_bps = 125e3;  // sizes each local bottleneck
+  sim::Duration access_delay = sim::Duration::micros(10);
+  sim::Duration local_delay = sim::Duration::micros(50);
+  sim::Duration cut_delay = sim::Duration::micros(100);  // the lookahead
+  double cut_bw_bps = 100e6;
+  double access_bw_headroom = 2.0;
+
+  // One cluster's flows run at this multiple of bw_per_flow_bps.
+  int hot_cluster = 0;
+  double hot_cluster_bw_scale = 1.0;
+
+  tcp::TcpConfig tcp;
+  core::TcpPrConfig pr;
+  std::uint64_t seed = 1;
+  sim::Duration max_start_stagger = sim::Duration::seconds(1);
+  sim::SchedulerBackend backend = sim::SchedulerBackend::kBinaryHeap;
+
+  // Pass to ParallelRunConfig::min_cut_lookahead so contraction keeps
+  // clusters atomic and only the ring links are cut.
+  sim::Duration min_cut_lookahead() const { return local_delay; }
+};
+
+std::unique_ptr<Scenario> make_clustered_mesh(const ClusteredMeshConfig& config);
+
 }  // namespace tcppr::harness

@@ -232,12 +232,126 @@ void Link::deliver_one(PooledPacket p) {
   // p's release into the pool recycles the packet for the next hop.
 }
 
-void Link::deliver_injected(PooledPacket p) {
-  TCPPR_DCHECK(remote_ != nullptr);
-  ++remote_->executed;
+void Link::queue_injected(sim::TimePoint at, std::uint64_t seq,
+                          Packet&& pkt) {
+  injected_.push_back(InjectedEntry{at, seq, std::move(pkt)});
+  // Same sorted-merge discipline as insert_delivery: barrier drains push
+  // in mailbox order, delivery order comes from the (at, seq) keys.
+  std::size_t i = injected_.size() - 1;
+  while (i > 0 && (at < injected_[i - 1].at ||
+                   (at == injected_[i - 1].at && seq < injected_[i - 1].seq))) {
+    std::swap(injected_[i], injected_[i - 1]);
+    --i;
+  }
+  arm_injected(at, seq);
+}
+
+void Link::arm_injected(sim::TimePoint at, std::uint64_t seq) {
+  TCPPR_DCHECK(injection_sched_ != nullptr);
+  // One event per entry, each at its own key: events fire in key order, so
+  // when this one fires its entry is exactly the ring head. The {this}
+  // capture is regenerable from the serialized ring — replay-safe.
+  injection_sched_->mark_replay_safe(injection_sched_->schedule_at_stamped(
+      at, seq, [this] { pop_injected(); }));
+}
+
+void Link::pop_injected() {
+  TCPPR_DCHECK(!injected_.empty());
+  InjectedEntry e = injected_.pop_front();
+  TCPPR_DCHECK(injection_pool_ != nullptr);
+  PooledPacket p = injection_pool_->checkout();
+  *p = std::move(e.pkt);
   if (tap_ != nullptr) tap_->on_deliver(*p);
   TCPPR_DCHECK(dst_node_ != nullptr);
   dst_node_->receive(std::move(*p));
+}
+
+void Link::injected_state(util::StateIO& io) {
+  const std::uint64_t n = io.size_token(injected_.size());
+  if (io.saving()) {
+    for (std::size_t i = 0; i < injected_.size(); ++i) {
+      io.pod(injected_[i].at);
+      io.pod(injected_[i].seq);
+      io.obj(injected_[i].pkt);
+    }
+  } else {
+    injected_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      InjectedEntry e{};
+      io.pod(e.at);
+      io.pod(e.seq);
+      io.obj(e.pkt);
+      arm_injected(e.at, e.seq);
+      injected_.push_back(std::move(e));
+    }
+    // Deliveries re-homed by the state() restore pass (a migration cut
+    // this link mid-flight): sorted-merge them in under their original
+    // keys now that the saved ring is back.
+    for (InjectedEntry& re : rehomed_) {
+      queue_injected(re.at, re.seq, std::move(re.pkt));
+    }
+    rehomed_.clear();
+  }
+}
+
+void Link::state(util::StateIO& io) {
+  io.pod(busy_);
+  io.pod(down_);
+  io.pod(in_transit_);
+  io.pod(loss_rate_);
+  io.pod(loss_rng_);
+  io.pod(max_jitter_);
+  io.pod(jitter_rng_);
+  io.pod(stats_);
+  io.pod(last_tx_mint_valid_);
+  io.pod(last_tx_mint_);
+  queue_->state(io);
+  io.pod(tx_pending_);
+  io.pod(tx_key_);
+  if (tx_pending_) {
+    if (!io.saving()) tx_pkt_ = pool().checkout();
+    io.obj(*tx_pkt_);
+  } else if (!io.saving()) {
+    tx_pkt_.reset();
+  }
+  const std::uint64_t n = io.size_token(ring_.size());
+  if (io.saving()) {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      io.pod(ring_[i].at);
+      io.pod(ring_[i].seq);
+      io.obj(*ring_[i].pkt);
+    }
+  } else {
+    ring_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      DeliveryEntry e{};
+      io.pod(e.at);
+      io.pod(e.seq);
+      if (remote_ != nullptr) {
+        // A migration just cut this link with deliveries in flight: the
+        // destination node now lives on another shard, so the entry must
+        // not re-arm here. Re-home it into the destination-side injected
+        // ring under its original (at, seq) key — stamps are partition-
+        // independent, so delivery order is unchanged — and perform the
+        // source-side accounting the cut path does at lottery time.
+        // Buffered, not queued: injected_state() restore runs after this
+        // and clears the ring; it drains the buffer once the saved
+        // entries are back.
+        InjectedEntry re{};
+        re.at = e.at;
+        re.seq = e.seq;
+        io.obj(re.pkt);
+        ++stats_.delivered;
+        stats_.bytes_delivered += re.pkt.size_bytes;
+        if (!skip_transit_decrement_) --in_transit_;
+        rehomed_.push_back(std::move(re));
+        continue;
+      }
+      e.pkt = pool().checkout();
+      io.obj(*e.pkt);
+      ring_.push_back(std::move(e));
+    }
+  }
 }
 
 void Link::insert_delivery(sim::TimePoint at, std::uint64_t seq,

@@ -11,6 +11,7 @@
 
 #include "sim/time.hpp"
 #include "util/inline_vec.hpp"
+#include "util/state_io.hpp"
 
 namespace tcppr::net {
 
@@ -59,6 +60,19 @@ struct TcpHeader {
   double ts_echo = 0.0;
   SackVec sack;                    // up to 3 blocks (RFC 2018), inline
   std::optional<SackBlock> dsack;  // first block duplicate (RFC 2883)
+
+  void state(util::StateIO& io) {
+    io.pod(flow);
+    io.pod(seq);
+    io.pod(ack);
+    io.pod(is_retransmission);
+    io.pod(tx_serial);
+    io.pod(echo_serial);
+    io.pod(ts_value);
+    io.pod(ts_echo);
+    io.ivec(sack);
+    io.pod(dsack);
+  }
 };
 
 struct Packet {
@@ -81,6 +95,24 @@ struct Packet {
   int hops = 0;
 
   bool is_ack() const { return type == PacketType::kTcpAck; }
+
+  // Checkpoint/rollback support: every field that defines the packet's
+  // forward trajectory (uid included — it is the packet's identity in
+  // delivery hashes and conservation accounting).
+  void state(util::StateIO& io) {
+    io.pod(uid);
+    io.pod(src);
+    io.pod(dst);
+    io.pod(size_bytes);
+    io.pod(type);
+    io.obj(tcp);
+    io.ivec(source_route);
+    io.pod(route_pos);
+    io.pod(path_id);
+    io.pod(sent_at);
+    io.pod(enqueued_at);
+    io.pod(hops);
+  }
 };
 
 }  // namespace tcppr::net

@@ -1,5 +1,6 @@
 #include "sim/parallel_engine.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -10,17 +11,31 @@
 namespace tcppr::sim {
 
 ParallelEngine::ParallelEngine(std::vector<Scheduler*> shards,
-                               std::vector<CutEdge> cuts, Hooks hooks)
+                               std::vector<CutEdge> cuts, Hooks hooks,
+                               EngineConfig config)
     : shards_(std::move(shards)),
       cuts_(std::move(cuts)),
-      hooks_(std::move(hooks)) {
+      hooks_(std::move(hooks)),
+      config_(config),
+      w_(config.w_init) {
   TCPPR_CHECK(!shards_.empty());
   for (const CutEdge& c : cuts_) {
     TCPPR_CHECK(c.src_lp >= 0 &&
                 c.src_lp < static_cast<int>(shards_.size()));
     TCPPR_CHECK(c.lookahead > Duration::zero());
   }
+  if (config_.optimistic) {
+    TCPPR_CHECK(config_.w_min > Duration::zero());
+    TCPPR_CHECK(config_.w_min <= config_.w_init);
+    TCPPR_CHECK(config_.w_init <= config_.w_max);
+  }
+  spec_results_.resize(shards_.size());
 }
+
+ParallelEngine::ParallelEngine(std::vector<Scheduler*> shards,
+                               std::vector<CutEdge> cuts, Hooks hooks)
+    : ParallelEngine(std::move(shards), std::move(cuts), std::move(hooks),
+                     EngineConfig{}) {}
 
 TimePoint ParallelEngine::safe_horizon() {
   TimePoint h = TimePoint::max();
@@ -56,7 +71,7 @@ void ParallelEngine::run_until(TimePoint end) {
   std::uint64_t gen = 0;
   std::size_t running = 0;
   bool quit = false;
-  const std::function<void(Scheduler&)>* job = nullptr;
+  const std::function<void(std::size_t)>* job = nullptr;
 
   std::vector<std::thread> workers;
   workers.reserve(n - 1);
@@ -64,7 +79,7 @@ void ParallelEngine::run_until(TimePoint end) {
     workers.emplace_back([&, i] {
       std::uint64_t seen = 0;
       for (;;) {
-        const std::function<void(Scheduler&)>* my_job = nullptr;
+        const std::function<void(std::size_t)>* my_job = nullptr;
         {
           std::unique_lock<std::mutex> lk(m);
           cv_start.wait(lk, [&] { return quit || gen != seen; });
@@ -72,7 +87,7 @@ void ParallelEngine::run_until(TimePoint end) {
           seen = gen;
           my_job = job;
         }
-        (*my_job)(*shards_[i]);
+        (*my_job)(i);
         {
           std::lock_guard<std::mutex> lk(m);
           if (--running == 0) cv_done.notify_one();
@@ -81,7 +96,7 @@ void ParallelEngine::run_until(TimePoint end) {
     });
   }
 
-  const auto run_window = [&](const std::function<void(Scheduler&)>& fn) {
+  const auto run_window = [&](const std::function<void(std::size_t)>& fn) {
     {
       std::lock_guard<std::mutex> lk(m);
       job = &fn;
@@ -89,33 +104,66 @@ void ParallelEngine::run_until(TimePoint end) {
       ++gen;
     }
     cv_start.notify_all();
-    fn(*shards_[0]);
+    fn(0);
     std::unique_lock<std::mutex> lk(m);
     cv_done.wait(lk, [&] { return running == 0; });
   };
 
-  // Safe windows strictly before the horizon.
+  const bool optimism_wired = config_.optimistic && hooks_.can_speculate &&
+                              hooks_.snapshot && hooks_.settle;
+
+  // Safe windows strictly before the horizon, each optionally followed by
+  // a bounded speculative leg past it.
   for (;;) {
     const TimePoint h = safe_horizon();
     if (h > end) break;
     ++windows_;
-    const std::function<void(Scheduler&)> window = [h](Scheduler& s) {
-      s.run_until_before(h);
+    const std::function<void(std::size_t)> window = [&, h](std::size_t i) {
+      shards_[i]->run_until_before(h);
     };
     run_window(window);
     exchanged_ += hooks_.exchange();
     if (hooks_.at_barrier) hooks_.at_barrier(h);
+
+    // Adaptive repartitioning happens at the committed barrier, before
+    // any speculation, so migrated state is never speculative.
+    if (hooks_.maybe_repartition && hooks_.maybe_repartition(cuts_)) {
+      ++repartitions_;
+    }
+
+    if (!optimism_wired || !hooks_.can_speculate()) continue;
+    // Bound is exclusive; end + 1ns lets the leg cover the end time
+    // itself (final-stretch semantics are inclusive).
+    const TimePoint bound = std::min(h + w_, end + Duration::nanos(1));
+    if (bound <= h) continue;
+    for (std::size_t lp = 0; lp < n; ++lp) {
+      hooks_.snapshot(static_cast<int>(lp));
+    }
+    ++spec_windows_;
+    const std::function<void(std::size_t)> spec = [&, bound](std::size_t i) {
+      spec_results_[i] = shards_[i]->run_speculative_before(bound);
+    };
+    run_window(spec);
+    const int rolled = hooks_.settle(h, bound, spec_results_);
+    if (rolled > 0) {
+      ++rollback_windows_;
+      rollbacks_ += static_cast<std::uint64_t>(rolled);
+      w_ = std::max(config_.w_min, Duration::nanos(w_.as_nanos() / 2));
+    } else {
+      w_ = std::min(config_.w_max, w_ + config_.w_step);
+    }
   }
 
   // Final stretch: inclusive at `end`, repeated until no shard holds work
   // at or before `end` (a window can inject events that land exactly at
   // the end time; effects of same-time events cannot propagate past the
   // end, so multi-pass execution here cannot reorder anything observable —
-  // the barrier merge still emits trace records in stamp order).
+  // the barrier merge still emits trace records in stamp order). No
+  // speculation here: there is nothing past the end to speculate into.
   for (;;) {
     ++windows_;
-    const std::function<void(Scheduler&)> window = [end](Scheduler& s) {
-      s.run_until(end);
+    const std::function<void(std::size_t)> window = [&, end](std::size_t i) {
+      shards_[i]->run_until(end);
     };
     run_window(window);
     exchanged_ += hooks_.exchange();

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -44,24 +45,42 @@ struct RunDigest {
   std::uint64_t hash = 0;
   std::uint64_t delivered = 0;
   int realized_lps = 1;
+  std::uint64_t windows = 0;
+  std::uint64_t spec_windows = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t repartitions = 0;
 };
+
+enum class Mode { kConservative, kAdaptive, kOptimistic, kAdaptiveOptimistic };
+
+ParallelRunConfig mode_config(Mode mode, int lps) {
+  ParallelRunConfig pc;
+  pc.lps = lps;
+  pc.adaptive = mode == Mode::kAdaptive || mode == Mode::kAdaptiveOptimistic;
+  pc.optimistic =
+      mode == Mode::kOptimistic || mode == Mode::kAdaptiveOptimistic;
+  return pc;
+}
 
 // Runs `scenario` to `end` and digests its delivery stream; lps == 0 runs
 // the legacy sequential scheduler, lps >= 1 runs through ParallelSim
 // (stamped shards; one shard still sequential).
 RunDigest run_and_digest(std::unique_ptr<Scenario> scenario,
-                         sim::TimePoint end, int lps) {
+                         sim::TimePoint end, int lps,
+                         Mode mode = Mode::kConservative) {
   RunDigest out;
   DeliveryHasher hasher;
   scenario->network.add_trace_sink(&hasher);
   if (lps == 0) {
     scenario->sched.run_until(end);
   } else {
-    ParallelRunConfig pc;
-    pc.lps = lps;
-    ParallelSim psim(*scenario, pc);
+    ParallelSim psim(*scenario, mode_config(mode, lps));
     out.realized_lps = psim.lp_count();
     psim.run_until(end);
+    out.windows = psim.windows();
+    out.spec_windows = psim.spec_windows();
+    out.rollbacks = psim.rollbacks();
+    out.repartitions = psim.repartitions();
   }
   out.hash = hasher.hash();
   out.delivered = hasher.delivered();
@@ -248,6 +267,22 @@ TEST_P(ParallelMatrix, ParallelDigestMatchesCanonicalOneShardRun) {
   }
 }
 
+TEST_P(ParallelMatrix, OptimisticDigestMatchesCanonicalOneShardRun) {
+  const auto [variant, topo] = GetParam();
+  const auto end = sim::TimePoint::from_seconds(3.0);
+  const RunDigest seq = run_and_digest(build_topo(topo, variant), end, 1);
+  ASSERT_GT(seq.delivered, 0u);
+  for (const int lps : {2, 4, 8}) {
+    const RunDigest par =
+        run_and_digest(build_topo(topo, variant), end, lps, Mode::kOptimistic);
+    EXPECT_GT(par.realized_lps, 1) << "partition degenerated";
+    EXPECT_EQ(par.delivered, seq.delivered)
+        << "optimistic lps=" << lps << " (" << par.spec_windows
+        << " spec windows, " << par.rollbacks << " rollbacks)";
+    EXPECT_EQ(par.hash, seq.hash) << "optimistic lps=" << lps;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllVariants, ParallelMatrix,
     ::testing::Combine(::testing::ValuesIn(harness::all_variants()),
@@ -294,6 +329,188 @@ TEST(ParallelManyFlows, RandomGraphDigestMatchesCanonicalOneShardRun) {
 }
 
 // ---------------------------------------------------------------------------
+// Bounded-optimism engine policy: scripted stragglers drive W adaptation.
+// The hooks lie about rollbacks (nothing is restored — the shards only run
+// self-rescheduling ticks whose effects don't matter) so the test isolates
+// the engine's multiplicative-decrease / additive-increase control loop.
+
+struct ScriptedOptimism {
+  std::vector<std::unique_ptr<sim::Scheduler>> scheds;
+  std::vector<sim::Scheduler*> shards;
+  std::vector<std::function<void()>> ticks;
+  sim::ParallelEngine::Hooks hooks;
+  sim::ParallelEngine::EngineConfig config;
+
+  explicit ScriptedOptimism(int scripted_rollbacks_per_settle) {
+    for (int i = 0; i < 2; ++i) {
+      scheds.push_back(std::make_unique<sim::Scheduler>());
+      shards.push_back(scheds.back().get());
+    }
+    ticks.resize(2);
+    for (int i = 0; i < 2; ++i) {
+      sim::Scheduler* s = shards[static_cast<std::size_t>(i)];
+      auto& tick = ticks[static_cast<std::size_t>(i)];
+      tick = [s, &tick] {
+        s->schedule_at(s->now() + sim::Duration::micros(100), tick);
+      };
+      s->schedule_at(sim::TimePoint::from_nanos(100000), tick);
+    }
+    hooks.exchange = [] { return std::uint64_t{0}; };
+    hooks.can_speculate = [] { return true; };
+    hooks.snapshot = [](int) {};
+    hooks.settle = [scripted_rollbacks_per_settle](
+                       sim::TimePoint, sim::TimePoint,
+                       const std::vector<sim::Scheduler::SpecResult>&) {
+      return scripted_rollbacks_per_settle;
+    };
+    config.optimistic = true;
+  }
+
+  std::vector<sim::ParallelEngine::CutEdge> cuts() const {
+    return {{0, sim::Duration::millis(1)}, {1, sim::Duration::millis(1)}};
+  }
+};
+
+TEST(BoundedOptimism, PersistentStragglersCollapseWToFloor) {
+  ScriptedOptimism rig(/*scripted_rollbacks_per_settle=*/1);
+  sim::ParallelEngine engine(rig.shards, rig.cuts(), rig.hooks, rig.config);
+  engine.run_until(sim::TimePoint::from_seconds(0.05));
+  ASSERT_GT(engine.spec_windows(), 3u);
+  EXPECT_EQ(engine.rollback_windows(), engine.spec_windows());
+  EXPECT_EQ(engine.rollbacks(), engine.spec_windows());
+  // Every settle reported a straggler: W must have halved its way down to
+  // the floor and stayed there.
+  EXPECT_EQ(engine.current_w().as_nanos(), rig.config.w_min.as_nanos());
+}
+
+TEST(BoundedOptimism, CleanWindowsGrowWToCap) {
+  ScriptedOptimism rig(/*scripted_rollbacks_per_settle=*/0);
+  sim::ParallelEngine engine(rig.shards, rig.cuts(), rig.hooks, rig.config);
+  engine.run_until(sim::TimePoint::from_seconds(0.05));
+  ASSERT_GT(engine.spec_windows(), 3u);
+  EXPECT_EQ(engine.rollbacks(), 0u);
+  EXPECT_GT(engine.current_w().as_nanos(), rig.config.w_init.as_nanos());
+  EXPECT_LE(engine.current_w().as_nanos(), rig.config.w_max.as_nanos());
+}
+
+// ---------------------------------------------------------------------------
+// Clustered mesh: the low-lookahead plant. Cut lookahead is 100us against
+// millisecond-scale speculation windows, so cross-cluster traffic lands
+// inside speculated legs — real stragglers, real rollbacks — while a
+// cross-free mesh speculates cleanly.
+
+RunDigest run_mesh(const harness::ClusteredMeshConfig& cfg, sim::TimePoint end,
+                   int lps, Mode mode) {
+  auto scenario = harness::make_clustered_mesh(cfg);
+  RunDigest out;
+  DeliveryHasher hasher;
+  scenario->network.add_trace_sink(&hasher);
+  ParallelRunConfig pc = mode_config(mode, lps);
+  pc.min_cut_lookahead = cfg.min_cut_lookahead();
+  // Test-speed adaptive policy: decide early, on modest evidence.
+  pc.repartition_cooldown = 8;
+  pc.repartition_min_events = 5000;
+  ParallelSim psim(*scenario, pc);
+  out.realized_lps = psim.lp_count();
+  psim.run_until(end);
+  out.windows = psim.windows();
+  out.spec_windows = psim.spec_windows();
+  out.rollbacks = psim.rollbacks();
+  out.repartitions = psim.repartitions();
+  out.hash = hasher.hash();
+  out.delivered = hasher.delivered();
+  return out;
+}
+
+harness::ClusteredMeshConfig mesh_config(int cross_flows,
+                                         double hot_scale = 1.0) {
+  harness::ClusteredMeshConfig cfg;
+  cfg.clusters = 4;
+  cfg.flows = 64;
+  cfg.cross_flows = cross_flows;
+  cfg.hot_cluster_bw_scale = hot_scale;
+  cfg.max_start_stagger = sim::Duration::seconds(0.3);
+  return cfg;
+}
+
+TEST(ClusteredMesh, ConservativeDigestMatchesCanonicalOneShardRun) {
+  const auto end = sim::TimePoint::from_seconds(1.0);
+  const RunDigest seq =
+      run_mesh(mesh_config(2), end, 1, Mode::kConservative);
+  ASSERT_GT(seq.delivered, 0u);
+  for (const int lps : {2, 4}) {
+    const RunDigest par =
+        run_mesh(mesh_config(2), end, lps, Mode::kConservative);
+    EXPECT_EQ(par.realized_lps, lps);
+    EXPECT_EQ(par.hash, seq.hash) << "lps=" << lps;
+    EXPECT_EQ(par.delivered, seq.delivered) << "lps=" << lps;
+  }
+}
+
+TEST(ClusteredMesh, CleanSpeculationCommitsAndCutsBarrierCount) {
+  const auto end = sim::TimePoint::from_seconds(1.0);
+  const RunDigest cons =
+      run_mesh(mesh_config(0), end, 4, Mode::kConservative);
+  const RunDigest opt = run_mesh(mesh_config(0), end, 4, Mode::kOptimistic);
+  ASSERT_GT(opt.delivered, 0u);
+  EXPECT_EQ(opt.hash, cons.hash);
+  EXPECT_EQ(opt.delivered, cons.delivered);
+  EXPECT_GT(opt.spec_windows, 0u);
+  // No cross traffic: every speculated event commits...
+  EXPECT_EQ(opt.rollbacks, 0u);
+  // ...and committed speculation advances the safe horizon in W-sized
+  // strides instead of lookahead-sized ones. (The start-stagger prefix
+  // cannot speculate — raw flow-start events are pending — so the full
+  // run shows less than the steady-state stride ratio.)
+  EXPECT_LT(opt.windows * 2, cons.windows)
+      << "spec_windows=" << opt.spec_windows << " windows=" << opt.windows
+      << " cons=" << cons.windows;
+}
+
+TEST(ClusteredMesh, InjectedStragglersRollBackAndReplayIdentically) {
+  const auto end = sim::TimePoint::from_seconds(1.0);
+  const RunDigest seq = run_mesh(mesh_config(4), end, 1, Mode::kConservative);
+  ASSERT_GT(seq.delivered, 0u);
+  for (const int lps : {2, 4}) {
+    const RunDigest opt = run_mesh(mesh_config(4), end, lps, Mode::kOptimistic);
+    // Cross flows land deliveries inside speculated legs: stragglers must
+    // actually have fired the rollback path for this test to mean anything.
+    EXPECT_GT(opt.spec_windows, 0u) << "lps=" << lps;
+    EXPECT_GT(opt.rollbacks, 0u) << "lps=" << lps;
+    EXPECT_EQ(opt.hash, seq.hash) << "lps=" << lps;
+    EXPECT_EQ(opt.delivered, seq.delivered) << "lps=" << lps;
+  }
+}
+
+TEST(ClusteredMesh, AdaptiveRepartitionRebalancesHotClusterIdentically) {
+  const auto end = sim::TimePoint::from_seconds(1.0);
+  // Cluster 0 runs 8x the bandwidth of the others: invisible to the
+  // static host-count weights (2 LPs get two clusters each), obvious to
+  // the measured fire counts (the hot LP carries ~8/11 of the load).
+  const RunDigest seq =
+      run_mesh(mesh_config(0, 8.0), end, 1, Mode::kConservative);
+  ASSERT_GT(seq.delivered, 0u);
+  const RunDigest ada = run_mesh(mesh_config(0, 8.0), end, 2, Mode::kAdaptive);
+  EXPECT_GE(ada.repartitions, 1u);
+  EXPECT_EQ(ada.hash, seq.hash);
+  EXPECT_EQ(ada.delivered, seq.delivered);
+}
+
+TEST(ClusteredMesh, AdaptivePlusOptimisticDigestMatchesCanonicalRun) {
+  const auto end = sim::TimePoint::from_seconds(1.0);
+  const RunDigest seq =
+      run_mesh(mesh_config(2, 4.0), end, 1, Mode::kConservative);
+  ASSERT_GT(seq.delivered, 0u);
+  for (const int lps : {2, 4}) {
+    const RunDigest both =
+        run_mesh(mesh_config(2, 4.0), end, lps, Mode::kAdaptiveOptimistic);
+    EXPECT_GT(both.spec_windows, 0u) << "lps=" << lps;
+    EXPECT_EQ(both.hash, seq.hash) << "lps=" << lps;
+    EXPECT_EQ(both.delivered, seq.delivered) << "lps=" << lps;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Invariants under parallel execution (conservation swept at barriers)
 
 TEST(ParallelInvariants, CheckerIsCleanAtBarriersAndTeardown) {
@@ -323,10 +540,16 @@ TEST(ParallelInvariants, CheckerIsCleanAtBarriersAndTeardown) {
 
 void expect_seed_equivalent(std::uint64_t seed, int lps) {
   validate::FuzzCase c = validate::sample_fuzz_case(seed);
+  const int sampled_mode = c.engine_mode;
   c.par_lps = 1;  // canonical one-shard baseline (ties keyed by node)
+  c.engine_mode = 0;  // ... under conservative barriers
   const validate::FuzzResult seq = validate::run_fuzz_case(c);
   EXPECT_TRUE(seq.ok) << "seed " << seed << ": " << seq.first_violation;
   c.par_lps = lps;
+  // The threaded run keeps the sampled engine mode, so the sweep also
+  // pits adaptive repartitioning and bounded optimism (~1/3 of seeds
+  // each) against the conservative canonical hash.
+  c.engine_mode = sampled_mode;
   const validate::FuzzResult par = validate::run_fuzz_case(c);
   EXPECT_TRUE(par.ok) << "seed " << seed << " lps " << lps << ": "
                       << par.first_violation;
@@ -334,6 +557,28 @@ void expect_seed_equivalent(std::uint64_t seed, int lps) {
       << "seed " << seed << " lps " << lps << " ("
       << validate::describe(c) << ")";
   EXPECT_EQ(par.delivered, seq.delivered) << "seed " << seed;
+}
+
+TEST(ParallelFuzz, AdaptiveMigrationRehomesInFlightDeliveriesOnNewCuts) {
+  // Regression: seed 46 samples a lossy, jittered random graph whose
+  // mid-run repartition cuts a link while its delivery ring holds packets
+  // in flight. Those entries must re-home into the destination shard's
+  // injected ring under their original (at, seq) keys — left on the
+  // source shard they deliver cross-shard from the wrong LP and the
+  // trajectory diverges.
+  validate::FuzzCase c = validate::sample_fuzz_case(46);
+  c.par_lps = 1;
+  c.engine_mode = 0;
+  const validate::FuzzResult seq = validate::run_fuzz_case(c);
+  ASSERT_TRUE(seq.ok) << seq.first_violation;
+  for (const int mode : {1, 3}) {
+    c.par_lps = 2;
+    c.engine_mode = mode;
+    const validate::FuzzResult par = validate::run_fuzz_case(c);
+    EXPECT_TRUE(par.ok) << "mode " << mode << ": " << par.first_violation;
+    EXPECT_EQ(par.delivery_hash, seq.delivery_hash) << "mode " << mode;
+    EXPECT_EQ(par.delivered, seq.delivered) << "mode " << mode;
+  }
 }
 
 TEST(ParallelFuzz, HundredSeedsMatchSequentialAtTwoAndFourLps) {

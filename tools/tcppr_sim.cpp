@@ -63,6 +63,9 @@ struct Args {
   std::size_t expect_concurrent = 0;
   bool no_batch = false;  // run the unbatched one-event-per-op engine
   int par = 0;  // 0 = sequential, >= 1 = parallel harness with N LPs
+  // Parallel engine mode; empty = conservative (and "as sampled" for fuzz
+  // runs, where the mode is a sampled dimension).
+  std::string engine;
   int fuzz_count = 0;
   std::optional<std::uint64_t> fuzz_seed;
   int jobs = 1;
@@ -74,6 +77,24 @@ std::optional<sim::SchedulerBackend> parse_backend(const std::string& name) {
   if (name == "calendar") return sim::SchedulerBackend::kCalendarQueue;
   if (name == "wheel") return sim::SchedulerBackend::kTimingWheel;
   return std::nullopt;
+}
+
+// Engine mode encoding shared with validate::FuzzCase::engine_mode:
+// 0 conservative, 1 adaptive, 2 optimistic, 3 both.
+std::optional<int> parse_engine(const std::string& name) {
+  if (name.empty() || name == "conservative") return 0;
+  if (name == "adaptive") return 1;
+  if (name == "optimistic") return 2;
+  if (name == "adaptive+optimistic" || name == "optimistic+adaptive") {
+    return 3;
+  }
+  return std::nullopt;
+}
+
+const char* engine_name(int mode) {
+  static const char* names[] = {"conservative", "adaptive", "optimistic",
+                                "adaptive+optimistic"};
+  return names[mode & 3];
 }
 
 std::optional<TcpVariant> parse_variant(const std::string& name) {
@@ -143,6 +164,12 @@ void usage() {
       "  --par <n>             run on n parallel scheduler shards (LPs);\n"
       "                        byte-identical to the sequential run. Also\n"
       "                        applies to --fuzz and --fuzz-seed runs\n"
+      "  --engine <mode>       parallel engine mode with --par:\n"
+      "                        conservative|adaptive|optimistic|\n"
+      "                        adaptive+optimistic (default conservative;\n"
+      "                        all modes are byte-identical). For --fuzz\n"
+      "                        and --fuzz-seed it overrides the sampled\n"
+      "                        engine-mode dimension\n"
       "  --fuzz <n>            fuzz campaign over seeds [--seed, --seed+n)\n"
       "  --fuzz-seed <n>       replay one fuzz case under the checker\n"
       "  --fuzz-artifacts <dir>  write per-seed reproducer files for\n"
@@ -216,6 +243,8 @@ bool parse(int argc, char** argv, Args& args) {
       args.no_batch = true;
     } else if (flag == "--par") {
       args.par = std::atoi(next());
+    } else if (flag == "--engine") {
+      args.engine = next();
     } else if (flag == "--fuzz") {
       args.fuzz_count = std::atoi(next());
     } else if (flag == "--fuzz-seed") {
@@ -337,11 +366,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const auto engine_mode = parse_engine(args.engine);
+  if (!engine_mode) {
+    std::fprintf(stderr,
+                 "unknown engine mode %s "
+                 "(conservative|adaptive|optimistic|adaptive+optimistic)\n",
+                 args.engine.c_str());
+    return 1;
+  }
+
   if (args.fuzz_seed) {
     auto c = validate::sample_fuzz_case(*args.fuzz_seed);
     c.backend = *backend;
     c.par_lps = args.par;
     c.batching = !args.no_batch;
+    if (!args.engine.empty()) c.engine_mode = *engine_mode;
     std::printf("fuzz seed %llu: %s\n",
                 static_cast<unsigned long long>(*args.fuzz_seed),
                 validate::describe(c).c_str());
@@ -362,7 +401,8 @@ int main(int argc, char** argv) {
   if (args.fuzz_count > 0) {
     const int failures = validate::run_fuzz_campaign(
         args.seed, args.fuzz_count, args.jobs, /*quiet=*/false,
-        args.fuzz_artifacts, *backend, args.par);
+        args.fuzz_artifacts, *backend, args.par,
+        args.engine.empty() ? -1 : *engine_mode);
     std::printf("fuzz: %d/%d seeds clean\n", args.fuzz_count - failures,
                 args.fuzz_count);
     return failures == 0 ? 0 : 1;
@@ -398,8 +438,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     registry.add_sink(series_sink.get());
-    scenario->attach_observability(
-        registry, sim::Duration::seconds(args.ts_interval_s));
+    if (args.par >= 1) {
+      // Per-flow probes schedule on the build scheduler and stay
+      // sequential-only; under --par the time-series output instead
+      // carries the per-LP engine gauges published with the barrier
+      // report after the run.
+    } else {
+      scenario->attach_observability(
+          registry, sim::Duration::seconds(args.ts_interval_s));
+    }
   }
 
   std::unique_ptr<validate::InvariantChecker> checker;
@@ -427,12 +474,10 @@ int main(int argc, char** argv) {
   // scheduler and are not supported in parallel mode.
   std::unique_ptr<harness::ParallelSim> psim;
   if (args.par >= 1) {
-    if (series_sink) {
-      std::fprintf(stderr, "--par does not support --ts-out probes\n");
-      return 1;
-    }
     harness::ParallelRunConfig pc;
     pc.lps = args.par;
+    pc.adaptive = *engine_mode == 1 || *engine_mode == 3;
+    pc.optimistic = *engine_mode == 2 || *engine_mode == 3;
     psim = std::make_unique<harness::ParallelSim>(*scenario, pc);
     if (checker) psim->set_checker(checker.get());
   } else if (checker) {
@@ -485,11 +530,38 @@ int main(int argc, char** argv) {
               args.topology.c_str(), args.queue.c_str(), args.duration_s,
               args.measured_s, static_cast<unsigned long long>(args.seed));
   if (psim) {
-    std::printf("parallel: %d LPs (%d requested), %llu windows, "
+    std::printf("parallel: %d LPs (%d requested), engine=%s, %llu windows, "
                 "%llu cross-LP packets\n",
-                psim->lp_count(), args.par,
+                psim->lp_count(), args.par, engine_name(*engine_mode),
                 static_cast<unsigned long long>(psim->windows()),
                 static_cast<unsigned long long>(psim->exchanged()));
+    if (*engine_mode != 0) {
+      std::printf("  engine: %llu spec windows (%llu rolled back, "
+                  "%llu LP rollbacks), %llu repartitions, W=%.0fus\n",
+                  static_cast<unsigned long long>(psim->spec_windows()),
+                  static_cast<unsigned long long>(psim->rollback_windows()),
+                  static_cast<unsigned long long>(psim->rollbacks()),
+                  static_cast<unsigned long long>(psim->repartitions()),
+                  static_cast<double>(psim->speculation_w().as_nanos()) / 1e3);
+    }
+    // Per-LP barrier report: window utilization against the busiest LP,
+    // cross-LP traffic sourced at each LP, and the optimism footprint.
+    const auto reports = psim->lp_reports();
+    std::printf("  %-4s %12s %6s %12s %10s %10s\n", "lp", "events", "util",
+                "cross-LP", "rollbacks", "snap (B)");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const auto& r = reports[i];
+      std::printf("  %-4zu %12llu %5.1f%% %12llu %10llu %10llu\n", i,
+                  static_cast<unsigned long long>(r.events),
+                  100.0 * r.utilization,
+                  static_cast<unsigned long long>(r.cross_pushed),
+                  static_cast<unsigned long long>(r.rollbacks),
+                  static_cast<unsigned long long>(r.snapshot_bytes));
+    }
+    if (series_sink) {
+      psim->publish_metrics(registry,
+                            sim::TimePoint::from_seconds(args.duration_s));
+    }
   }
   const auto norm = result.normalized();
   if (result.flows.size() <= 32) {
